@@ -1,0 +1,417 @@
+// Benchmarks regenerating every figure of the paper's experimental study
+// (§5) plus the ablations identified in DESIGN.md. Each benchmark family
+// corresponds to one figure; cmd/sipbench runs the same harness as wider
+// printed sweeps.
+//
+// Custom metrics reported alongside ns/op:
+//
+//	upd/s       stream-processing or proving throughput in updates/second
+//	space-B     verifier working space in bytes
+//	comm-B      total conversation size in bytes
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ccm"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/gkrbench"
+	"repro/internal/harness"
+	"repro/internal/hashtree"
+	"repro/internal/lde"
+	"repro/internal/merkle"
+	"repro/internal/stream"
+	"repro/internal/sumcheck"
+)
+
+var f61 = field.Mersenne()
+
+// mustUpdates builds the paper's §5 workload: u = n, counts uniform in
+// [0, 1000].
+func mustUpdates(u uint64, seed uint64) []stream.Update {
+	return stream.UniformDeltas(u, 1000, field.NewSplitMix64(seed))
+}
+
+// ---------------------------------------------------------------------
+// Figure 2(a): verifier's stream-processing time (multi-round vs
+// one-round), linear in n for both, one-round slightly faster.
+
+func BenchmarkFig2aVerifierMultiRound(b *testing.B) {
+	for _, logu := range []int{14, 16, 18} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("n=2^%d", logu), func(b *testing.B) {
+			proto, err := core.NewSelfJoinSize(f61, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := mustUpdates(u, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := proto.NewVerifier(field.NewSplitMix64(2))
+				for _, up := range ups {
+					if err := v.Observe(up); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
+}
+
+func BenchmarkFig2aVerifierOneRound(b *testing.B) {
+	for _, logu := range []int{14, 16, 18} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("n=2^%d", logu), func(b *testing.B) {
+			proto, err := ccm.New(f61, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := mustUpdates(proto.U, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := proto.NewVerifier(field.NewSplitMix64(2))
+				for _, up := range ups {
+					if err := v.Observe(up.Index, up.Delta); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 2(b): prover's proof-generation time — multi-round linear,
+// one-round Θ(u^{3/2}) (the "steeper line").
+
+func BenchmarkFig2bProverMultiRound(b *testing.B) {
+	for _, logu := range []int{14, 16, 18} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("u=2^%d", logu), func(b *testing.B) {
+			proto, err := core.NewSelfJoinSize(f61, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := mustUpdates(u, 1)
+			v0 := proto.NewVerifier(field.NewSplitMix64(3))
+			p0 := proto.NewProver()
+			for _, up := range ups {
+				if err := v0.Observe(up); err != nil {
+					b.Fatal(err)
+				}
+				if err := p0.Observe(up); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// Fresh verifier each round (same stream summary).
+				v := proto.NewVerifier(field.NewSplitMix64(3))
+				p := proto.NewProver()
+				for _, up := range ups {
+					_ = v.Observe(up)
+					_ = p.Observe(up)
+				}
+				b.StartTimer()
+				if _, err := core.Run(p, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
+}
+
+func BenchmarkFig2bProverOneRound(b *testing.B) {
+	for _, logu := range []int{12, 14, 16} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("u=2^%d", logu), func(b *testing.B) {
+			proto, err := ccm.New(f61, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := mustUpdates(proto.U, 1)
+			p := proto.NewProver()
+			for _, up := range ups {
+				if err := p.Observe(up.Index, up.Delta); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = p.Prove()
+			}
+			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 2(c): verifier space and communication — Θ(log u) vs Θ(√u).
+
+func BenchmarkFig2cSpaceComm(b *testing.B) {
+	for _, logu := range []int{12, 16, 20} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("multi-round/u=2^%d", logu), func(b *testing.B) {
+			var row harness.F2Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = harness.F2MultiRound(f61, u, 1000, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.SpaceBytes), "space-B")
+			b.ReportMetric(float64(row.CommBytes), "comm-B")
+		})
+		if logu > 16 {
+			continue // one-round prover too slow beyond 2^16
+		}
+		b.Run(fmt.Sprintf("one-round/u=2^%d", logu), func(b *testing.B) {
+			var row harness.F2Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = harness.F2OneRound(f61, u, 1000, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.SpaceBytes), "space-B")
+			b.ReportMetric(float64(row.CommBytes), "comm-B")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 3(a): SUB-VECTOR prover and verifier time (span 1000, as in the
+// paper).
+
+func BenchmarkFig3aSubVector(b *testing.B) {
+	for _, logu := range []int{14, 16, 18} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("u=2^%d", logu), func(b *testing.B) {
+			proto, err := core.NewSubVector(f61, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := mustUpdates(u, 5)
+			qL := (u - 1000) / 2
+			qR := qL + 999
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				v := proto.NewVerifier(field.NewSplitMix64(6))
+				p := proto.NewProver()
+				for _, up := range ups {
+					_ = v.Observe(up)
+					_ = p.Observe(up)
+				}
+				if err := v.SetQuery(qL, qR); err != nil {
+					b.Fatal(err)
+				}
+				if err := p.SetQuery(qL, qR); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := core.Run(p, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 3(b): SUB-VECTOR space and communication — O(log u) plus the
+// k reported values.
+
+func BenchmarkFig3bSpaceComm(b *testing.B) {
+	for _, logu := range []int{12, 16, 20} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("u=2^%d", logu), func(b *testing.B) {
+			var row harness.SubVectorRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = harness.SubVectorRun(f61, u, 1000, 1000, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.SpaceBytes), "space-B")
+			b.ReportMetric(float64(row.CommBytes), "comm-B")
+			b.ReportMetric(float64(row.CommBytes-16*row.K), "overhead-B")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// §5 in-text: "The time to check the proof is essentially negligible:
+// less than a millisecond across all data sizes."
+
+func BenchmarkVerifierCheckF2(b *testing.B) {
+	// Setup once: an honest transcript over u = 2^18, recorded at the
+	// sum-check level so a fresh verifier costs O(1) to construct. The
+	// timed region is pure proof checking.
+	const logu = 18
+	params, err := lde.NewParams(2, logu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ups := mustUpdates(params.U, 8)
+	a, err := stream.Apply(ups, params.U)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := make([]field.Elem, params.U)
+	for i, v := range a {
+		table[i] = f61.FromInt64(v)
+	}
+	cfg := sumcheck.Config{Field: f61, Params: params, Combiner: sumcheck.Power{K: 2}}
+	pt := lde.RandomPoint(f61, params, field.NewSplitMix64(9))
+	val, err := lde.EvalDense(pt, table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expected := f61.Mul(val, val)
+	p, err := sumcheck.NewProver(cfg, table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	claim := p.Total()
+	rec, err := sumcheck.NewVerifier(cfg, pt.R, claim, expected)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sumcheck.Run(p, rec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := sumcheck.NewVerifier(cfg, pt.R, claim, expected)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, msg := range tr.Messages {
+			if err := v.Receive(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !v.Accepted() {
+			b.Fatal("transcript not accepted")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation (§3 Remarks): native F2 vs the Theorem-3 GKR construction.
+
+func BenchmarkAblationGKRvsNative(b *testing.B) {
+	for _, logu := range []int{6, 8, 10} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("u=2^%d", logu), func(b *testing.B) {
+			var native, gkrRow gkrbench.Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				native, gkrRow, err = gkrbench.CompareF2(f61, u, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(native.CommWords), "native-words")
+			b.ReportMetric(float64(gkrRow.CommWords), "gkr-words")
+			b.ReportMetric(float64(gkrRow.CommWords)/float64(native.CommWords), "gkr/native")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation (§3.1 footnote 1): branching factor ℓ vs rounds/communication.
+
+func BenchmarkAblationBranching(b *testing.B) {
+	for _, ell := range []int{2, 4, 16} {
+		b.Run(fmt.Sprintf("ell=%d", ell), func(b *testing.B) {
+			var rows []harness.BranchingRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = harness.BranchingSweep(f61, 1<<12, []int{ell}, 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows[0].CommWords), "comm-words")
+			b.ReportMetric(float64(rows[0].Rounds), "rounds")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// §6.2: frequency-based functions at (log u, √u log u).
+
+func BenchmarkFreqBasedF0(b *testing.B) {
+	for _, logu := range []int{8, 10} {
+		u := uint64(1) << logu
+		b.Run(fmt.Sprintf("u=2^%d", logu), func(b *testing.B) {
+			var row harness.F0Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = harness.F0Run(f61, u, 12)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.CommWords), "comm-words")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Substrate ablation: the algebraic streaming root (O(log u)/update,
+// constant space) vs a Merkle rebuild (the prior-work baseline that
+// needs the whole tree).
+
+func BenchmarkRootMaintenance(b *testing.B) {
+	const logu = 14
+	params, err := hashtree.NewParams(logu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ups := mustUpdates(params.U, 13)
+	b.Run("algebraic-streaming", func(b *testing.B) {
+		h := hashtree.NewHasher(f61, params, hashtree.Affine, field.NewSplitMix64(14))
+		ev := hashtree.NewRootEvaluator(h)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			up := ups[i%len(ups)]
+			if err := ev.Update(up.Index, up.Delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(8*ev.SpaceWords()), "space-B")
+	})
+	b.Run("merkle-rebuild", func(b *testing.B) {
+		a, err := stream.Apply(ups, params.U)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaves := make([][]byte, params.U)
+		for i, v := range a {
+			leaves[i] = []byte{byte(v), byte(v >> 8)}
+		}
+		b.ResetTimer()
+		var tree *merkle.Tree
+		for i := 0; i < b.N; i++ {
+			tree, err = merkle.Build(leaves)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(32*tree.UpdateCost()), "space-B")
+	})
+}

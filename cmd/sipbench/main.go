@@ -1,0 +1,245 @@
+// Command sipbench regenerates the experimental series of Cormode, Thaler
+// & Yi (VLDB 2011), §5 — one experiment per figure plus the in-text
+// claims — printing rows that correspond to the paper's plots.
+//
+// Usage:
+//
+//	sipbench -experiment fig2a          # verifier stream time vs n
+//	sipbench -experiment fig2b          # prover time vs u
+//	sipbench -experiment fig2c          # space & communication vs u
+//	sipbench -experiment fig3a          # SUB-VECTOR prover/verifier time
+//	sipbench -experiment fig3b          # SUB-VECTOR space & communication
+//	sipbench -experiment tamper         # §5 robustness: all tampering rejected
+//	sipbench -experiment branching      # §3.1 footnote-1 ℓ/d ablation
+//	sipbench -experiment gkr            # §3 remark: GKR vs native F2
+//	sipbench -experiment freq           # §6.2 frequency-based functions
+//	sipbench -experiment ipv6           # §5 closing extrapolation
+//	sipbench -experiment all
+//
+// -maxlogu bounds the sweeps (default 20 multi-round, 16 one-round; the
+// one-round prover is Θ(u^{3/2}) and dominates quickly, exactly as in
+// Figure 2(b)).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/field"
+	"repro/internal/gkrbench"
+	"repro/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run (fig2a fig2b fig2c fig3a fig3b tamper branching gkr freq ipv6 all)")
+	maxLogU := flag.Int("maxlogu", 20, "largest log2(u) for multi-round sweeps")
+	maxLogUOne := flag.Int("maxlogu1", 16, "largest log2(u) for one-round sweeps (prover is Θ(u^{3/2}))")
+	span := flag.Uint64("span", 1000, "SUB-VECTOR query span (the paper uses 1000)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	f := field.Mersenne()
+	run := func(name string, fn func(field.Field) error) {
+		switch *experiment {
+		case name, "all":
+			fmt.Printf("== %s ==\n", name)
+			if err := fn(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+
+	run("fig2a", func(f field.Field) error { return fig2a(f, *maxLogU, *maxLogUOne, *seed) })
+	run("fig2b", func(f field.Field) error { return fig2b(f, *maxLogU, *maxLogUOne, *seed) })
+	run("fig2c", func(f field.Field) error { return fig2c(f, *maxLogU, *maxLogUOne, *seed) })
+	run("fig3a", func(f field.Field) error { return fig3(f, *maxLogU, *span, *seed, true) })
+	run("fig3b", func(f field.Field) error { return fig3(f, *maxLogU, *span, *seed, false) })
+	run("tamper", func(f field.Field) error { return tamper(f, *seed) })
+	run("branching", func(f field.Field) error { return branching(f, *seed) })
+	run("gkr", func(f field.Field) error { return gkr(f, *seed) })
+	run("freq", func(f field.Field) error { return freq(f, *seed) })
+	run("ipv6", func(f field.Field) error { return ipv6(f, *seed) })
+}
+
+func logRange(lo, hi int) []int {
+	var out []int
+	for l := lo; l <= hi; l += 2 {
+		out = append(out, l)
+	}
+	return out
+}
+
+// fig2a: verifier stream-processing time vs input size n (Figure 2(a)).
+func fig2a(f field.Field, maxMulti, maxOne int, seed uint64) error {
+	fmt.Println("Figure 2(a): verifier's time to process the stream (u = n)")
+	fmt.Printf("%-12s %12s %14s %16s %14s\n", "protocol", "n", "stream-time", "updates/sec", "check-time")
+	for _, lg := range logRange(10, maxMulti) {
+		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %14s %16.0f %14s\n", row.Protocol, row.N, row.StreamTime, row.UpdatesPerSec, row.CheckTime)
+	}
+	for _, lg := range logRange(10, maxOne) {
+		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %14s %16.0f %14s\n", row.Protocol, row.N, row.StreamTime, row.UpdatesPerSec, row.CheckTime)
+	}
+	return nil
+}
+
+// fig2b: prover's proof-generation time vs universe size (Figure 2(b)).
+func fig2b(f field.Field, maxMulti, maxOne int, seed uint64) error {
+	fmt.Println("Figure 2(b): prover's time to generate the proof")
+	fmt.Printf("%-12s %12s %14s %16s\n", "protocol", "u", "prove-time", "updates/sec")
+	for _, lg := range logRange(10, maxMulti) {
+		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %14s %16.0f\n", row.Protocol, row.U, row.ProveTime, float64(row.N)/row.ProveTime.Seconds())
+	}
+	for _, lg := range logRange(10, maxOne) {
+		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %14s %16.0f\n", row.Protocol, row.U, row.ProveTime, float64(row.N)/row.ProveTime.Seconds())
+	}
+	return nil
+}
+
+// fig2c: verifier space and communication vs universe size (Figure 2(c)).
+func fig2c(f field.Field, maxMulti, maxOne int, seed uint64) error {
+	fmt.Println("Figure 2(c): size of communication and working space")
+	fmt.Printf("%-12s %12s %14s %14s\n", "protocol", "u", "space-bytes", "comm-bytes")
+	for _, lg := range logRange(10, maxMulti) {
+		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %14d %14d\n", row.Protocol, row.U, row.SpaceBytes, row.CommBytes)
+	}
+	for _, lg := range logRange(10, maxOne) {
+		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %14d %14d\n", row.Protocol, row.U, row.SpaceBytes, row.CommBytes)
+	}
+	return nil
+}
+
+// fig3: SUB-VECTOR times (a) or space/communication (b) — Figure 3.
+func fig3(f field.Field, maxLogU int, span, seed uint64, times bool) error {
+	if times {
+		fmt.Printf("Figure 3(a): SUB-VECTOR verifier and prover time (span %d)\n", span)
+		fmt.Printf("%12s %14s %14s %14s\n", "u", "stream-time", "prove-time", "check-time")
+	} else {
+		fmt.Printf("Figure 3(b): SUB-VECTOR space and communication (span %d)\n", span)
+		fmt.Printf("%12s %8s %14s %14s %18s\n", "u", "k", "space-bytes", "comm-bytes", "comm-minus-answer")
+	}
+	for _, lg := range logRange(10, maxLogU) {
+		row, err := harness.SubVectorRun(f, 1<<lg, span, 1000, seed)
+		if err != nil {
+			return err
+		}
+		if times {
+			fmt.Printf("%12d %14s %14s %14s\n", row.U, row.StreamTime, row.ProveTime, row.CheckTime)
+		} else {
+			fmt.Printf("%12d %8d %14d %14d %18d\n", row.U, row.K, row.SpaceBytes, row.CommBytes, row.CommBytes-16*row.K)
+		}
+	}
+	return nil
+}
+
+// tamper: §5 in-text robustness experiment.
+func tamper(f field.Field, seed uint64) error {
+	fmt.Println("Tamper suite (§5): every dishonest prover must be rejected")
+	outcomes, err := harness.TamperSuite(f, 1<<10, seed)
+	if err != nil {
+		return err
+	}
+	allRejected := true
+	for _, o := range outcomes {
+		verdict := "REJECTED (correct)"
+		if !o.Rejected {
+			verdict = "ACCEPTED (soundness failure!)"
+			allRejected = false
+		}
+		fmt.Printf("%-16s %-24s %s\n", o.Query, o.Mode, verdict)
+	}
+	if !allRejected {
+		return fmt.Errorf("a dishonest prover was accepted")
+	}
+	fmt.Println("all tampering attempts rejected — matches the paper")
+	return nil
+}
+
+// branching: §3.1 footnote 1 ℓ/d ablation.
+func branching(f field.Field, seed uint64) error {
+	fmt.Println("Branching-factor ablation (§3.1 fn. 1): F2 over u = 2^12")
+	rows, err := harness.BranchingSweep(f, 1<<12, []int{2, 4, 8, 16, 64}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %6s %10s %12s %14s %14s\n", "ell", "d", "rounds", "comm-words", "space-bytes", "prove-time")
+	for _, r := range rows {
+		fmt.Printf("%6d %6d %10d %12d %14d %14s\n", r.Ell, r.D, r.Rounds, r.CommWords, r.SpaceBytes, r.ProveTime)
+	}
+	return nil
+}
+
+// gkr: §3 remark — the specialized F2 protocol vs the Theorem-3 (GKR)
+// circuit protocol.
+func gkr(f field.Field, seed uint64) error {
+	fmt.Println("GKR ablation (§3 remark): native F2 vs Muggles circuit protocol")
+	fmt.Printf("%8s %12s | %14s %14s | %14s %14s\n",
+		"u", "protocol", "comm-words", "rounds", "prove-time", "check-time")
+	for _, lg := range []int{4, 6, 8, 10} {
+		native, gkrRow, err := gkrbench.CompareF2(f, uint64(1)<<lg, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %12s | %14d %14d | %14s %14s\n",
+			uint64(1)<<lg, "native", native.CommWords, native.Rounds, native.ProveTime, native.CheckTime)
+		fmt.Printf("%8d %12s | %14d %14d | %14s %14s\n",
+			uint64(1)<<lg, "gkr", gkrRow.CommWords, gkrRow.Rounds, gkrRow.ProveTime, gkrRow.CheckTime)
+	}
+	return nil
+}
+
+// freq: §6.2 frequency-based functions.
+func freq(f field.Field, seed uint64) error {
+	fmt.Println("Frequency-based functions (§6.2): F0 at φ = u^{-1/2}")
+	fmt.Printf("%10s %10s %12s %14s %14s\n", "u", "F0", "comm-words", "prove-time", "check-time")
+	for _, lg := range []int{8, 10, 12} {
+		row, err := harness.F0Run(f, uint64(1)<<lg, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d %10d %12d %14s %14s\n", row.U, row.F0, row.CommWords, row.ProveTime, row.CheckTime)
+	}
+	return nil
+}
+
+// ipv6: §5 closing extrapolation to 1TB of IPv6 addresses.
+func ipv6(f field.Field, seed uint64) error {
+	row, err := harness.F2MultiRound(f, 1<<20, 1000, seed)
+	if err != nil {
+		return err
+	}
+	proveRate := float64(row.N) / row.ProveTime.Seconds()
+	est := harness.IPv6Extrapolate(row.U, proveRate)
+	fmt.Println("IPv6 extrapolation (§5): 1TB ≈ 6×10^10 addresses, log u = 128")
+	fmt.Printf("measured prover rate at u=2^%d: %.1f M updates/s\n", est.MeasuredLogU, est.MeasuredRate/1e6)
+	fmt.Printf("estimated prover time for 1TB IPv6: %.0f seconds (%.0f minutes)\n",
+		est.EstimatedSeconds, est.EstimatedSeconds/60)
+	fmt.Println("(the paper, on 2011 hardware at 20M upd/s, estimated ~12,000s / 200 min)")
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command sipclient is the data owner: it uploads a synthetic stream to a
+// sipserver while keeping only O(log u) verification state, then runs a
+// battery of verified queries and reports results and costs.
+//
+//	sipclient -addr localhost:7408 -logu 16 -n 65536 -seed 7
+//
+// Point it at a server started with -cheat-drop to watch every query get
+// rejected.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7408", "sipserver address")
+	logu := flag.Int("logu", 16, "log2 of the universe size")
+	n := flag.Int("n", 1<<16, "stream length (unit increments)")
+	seed := flag.Uint64("seed", 7, "workload seed")
+	flag.Parse()
+
+	f := field.Mersenne()
+	u := uint64(1) << *logu
+	gen := field.NewSplitMix64(*seed)
+	ups := stream.UnitIncrements(u, *n, gen)
+
+	client, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	if err := client.Hello(u); err != nil {
+		log.Fatalf("hello: %v", err)
+	}
+
+	// Verifiers are created before the upload: the single streaming pass.
+	rng := field.CryptoRNG{}
+	f2proto, err := core.NewSelfJoinSize(f, u)
+	check(err)
+	f2v := f2proto.NewVerifier(rng)
+	rqproto, err := core.NewRangeQuery(f, u)
+	check(err)
+	rqv := rqproto.NewVerifier(rng)
+	hhproto, err := core.NewHeavyHitters(f, u)
+	check(err)
+	hhv := hhproto.NewVerifier(rng)
+
+	for _, up := range ups {
+		check(f2v.Observe(up))
+		check(rqv.Observe(up))
+		check(hhv.Observe(up))
+	}
+	check(client.SendUpdates(ups))
+	check(client.EndStream())
+	fmt.Printf("uploaded %d updates over universe 2^%d; verifier state is O(log u)\n", len(ups), *logu)
+
+	// SELF-JOIN SIZE.
+	stats, err := client.Query(wire.QuerySelfJoinSize, wire.QueryParams{}, f2v)
+	report("SELF-JOIN SIZE (F2)", stats, err)
+	if err == nil {
+		res, rerr := f2v.Result()
+		check(rerr)
+		fmt.Printf("  F2 = %d\n", res)
+	}
+
+	// RANGE QUERY over a small window.
+	lo, hi := u/4, u/4+99
+	check(rqv.SetQuery(lo, hi))
+	stats, err = client.Query(wire.QueryRangeQuery, wire.QueryParams{A: lo, B: hi}, rqv)
+	report(fmt.Sprintf("RANGE QUERY [%d,%d]", lo, hi), stats, err)
+	if err == nil {
+		entries, rerr := rqv.Result()
+		check(rerr)
+		fmt.Printf("  %d nonzero entries verified\n", len(entries))
+	}
+
+	// HEAVY HITTERS.
+	phi := 0.001
+	check(hhv.SetQuery(phi))
+	stats, err = client.Query(wire.QueryHeavyHitters, wire.QueryParams{Phi: phi}, hhv)
+	report(fmt.Sprintf("HEAVY HITTERS (φ=%g)", phi), stats, err)
+	if err == nil {
+		hh, _, rerr := hhv.Result()
+		check(rerr)
+		fmt.Printf("  %d heavy hitters verified complete\n", len(hh))
+	}
+}
+
+func report(name string, stats core.Stats, err error) {
+	switch {
+	case err == nil:
+		fmt.Printf("%s: ACCEPTED — %d rounds, %d bytes of proof traffic\n", name, stats.Rounds, stats.CommBytes())
+	case errors.Is(err, core.ErrRejected):
+		fmt.Printf("%s: REJECTED — the cloud is cheating (%v)\n", name, err)
+	default:
+		fmt.Printf("%s: transport error: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+// Command sipserver runs the untrusted "cloud" prover as a TCP service:
+// it ingests uploaded streams and answers verified queries (see
+// cmd/sipclient for the data-owner side).
+//
+//	sipserver -listen :7408
+//	sipserver -listen :7408 -cheat-drop 1   # dishonest cloud: drops the
+//	                                        # last update before proving
+//
+// The -cheat-drop flag exists to demonstrate, end to end over a real
+// socket, that a cheating cloud is caught: every client query against a
+// doctored store is rejected.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"repro/internal/field"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", ":7408", "address to listen on")
+	cheatDrop := flag.Int("cheat-drop", 0, "misbehave: drop this many trailing updates before proving")
+	flag.Parse()
+
+	srv := &wire.Server{F: field.Mersenne()}
+	if *cheatDrop > 0 {
+		n := *cheatDrop
+		srv.Corrupt = func(ups []stream.Update) []stream.Update {
+			if len(ups) < n {
+				return nil
+			}
+			return ups[:len(ups)-n]
+		}
+		log.Printf("running DISHONESTLY: dropping %d trailing updates before proving", n)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("sipserver (p = 2^61-1) listening on %s", ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of Cormode, Thaler &
+// Yi, "Verifying Computations with Streaming Interactive Proofs"
+// (PVLDB 5(1), 2011; arXiv:1109.6882).
+//
+// The public API lives in repro/sip; the experiment harness behind every
+// figure of the paper's §5 is exercised by the benchmarks in
+// bench_test.go and by cmd/sipbench. See README.md for a tour, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// comparison.
+package repro

@@ -1,0 +1,134 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+var f61 = field.Mersenne()
+
+func TestF2CircuitEvaluates(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 6} {
+		c, err := NewF2Circuit(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := field.NewSplitMix64(uint64(k))
+		input := make([]field.Elem, c.InputSize)
+		var want field.Elem
+		for i := range input {
+			input[i] = f61.Reduce(rng.Uint64() % 1000)
+			want = f61.Add(want, f61.Mul(input[i], input[i]))
+		}
+		values, err := c.Evaluate(f61, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := values[0][0]; got != want {
+			t.Fatalf("k=%d: F2 circuit = %d, want %d", k, got, want)
+		}
+		if c.VarCount(0) != 0 || c.VarCount(len(c.Layers)) != k {
+			t.Fatalf("k=%d: VarCount wrong", k)
+		}
+	}
+	if _, err := NewF2Circuit(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	c, err := NewF2Circuit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evaluate(f61, make([]field.Elem, 4)); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestValidateRejectsBadCircuits(t *testing.T) {
+	bad := []*Circuit{
+		{InputSize: 4}, // no layers
+		{InputSize: 3, Layers: []Layer{{Gates: []Gate{{}}}}},                  // non-power input
+		{InputSize: 4, Layers: []Layer{{Gates: make([]Gate, 3)}}},             // non-power layer
+		{InputSize: 4, Layers: []Layer{{Gates: []Gate{{Type: Add, In1: 9}}}}}, // wire out of range
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad circuit %d accepted", i)
+		}
+	}
+}
+
+// TestWiringSumsToGateCounts: summing add̃/mult̃ over all boolean (z,x,y)
+// must count the add and mult gates, for both evaluators.
+func TestWiringSumsToGateCounts(t *testing.T) {
+	c, err := NewF2Circuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for layer := range c.Layers {
+		kz := c.VarCount(layer)
+		kx := c.VarCount(layer + 1)
+		var wantAdd, wantMul int
+		for _, g := range c.Layers[layer].Gates {
+			if g.Type == Add {
+				wantAdd++
+			} else {
+				wantMul++
+			}
+		}
+		for _, w := range []Wiring{GateWiring{C: c}, F2Wiring{K: 2}} {
+			var sumAdd, sumMul field.Elem
+			for z := 0; z < 1<<kz; z++ {
+				for x := 0; x < 1<<kx; x++ {
+					for y := 0; y < 1<<kx; y++ {
+						a, m := w.Eval(f61, layer, bitsOf(z, kz), bitsOf(x, kx), bitsOf(y, kx))
+						sumAdd = f61.Add(sumAdd, a)
+						sumMul = f61.Add(sumMul, m)
+					}
+				}
+			}
+			if sumAdd != field.Elem(wantAdd) || sumMul != field.Elem(wantMul) {
+				t.Fatalf("layer %d %T: sums (%d,%d), want (%d,%d)", layer, w, sumAdd, sumMul, wantAdd, wantMul)
+			}
+		}
+	}
+}
+
+// TestF2WiringMatchesGateWiring at random (non-boolean) points — the
+// closed form must agree with the generic evaluator everywhere.
+func TestF2WiringMatchesGateWiring(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		c, err := NewF2Circuit(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := GateWiring{C: c}
+		closed := F2Wiring{K: k}
+		rng := field.NewSplitMix64(uint64(100 + k))
+		for layer := range c.Layers {
+			kz := c.VarCount(layer)
+			kx := c.VarCount(layer + 1)
+			for trial := 0; trial < 10; trial++ {
+				z := f61.RandVec(rng, kz)
+				x := f61.RandVec(rng, kx)
+				y := f61.RandVec(rng, kx)
+				a1, m1 := gen.Eval(f61, layer, z, x, y)
+				a2, m2 := closed.Eval(f61, layer, z, x, y)
+				if a1 != a2 || m1 != m2 {
+					t.Fatalf("k=%d layer %d: generic (%d,%d) ≠ closed (%d,%d)", k, layer, a1, m1, a2, m2)
+				}
+			}
+		}
+	}
+}
+
+func bitsOf(v, n int) []field.Elem {
+	out := make([]field.Elem, n)
+	for t := 0; t < n; t++ {
+		out[t] = field.Elem((v >> t) & 1)
+	}
+	return out
+}

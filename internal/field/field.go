@@ -1,0 +1,331 @@
+// Package field implements arithmetic in prime fields Z_p for p < 2^62.
+//
+// All protocols in this repository perform their checks over Z_p via
+// Schwartz–Zippel polynomial identity testing, exactly as in Cormode,
+// Thaler & Yi (VLDB 2011). The paper's experiments use the Mersenne prime
+// p = 2^61 - 1, for which this package provides a branch-free reduction;
+// any other prime below 2^62 (for example one found with NextPrimeAtLeast
+// to satisfy the paper's "u ≤ p ≤ 2u" requirement) uses a generic
+// 128-bit-product reduction.
+package field
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Mersenne61 is the Mersenne prime 2^61 - 1 used throughout the paper's
+// experimental study (§5). Arithmetic modulo this prime reduces without
+// division.
+const Mersenne61 = (1 << 61) - 1
+
+// maxModulus bounds the supported moduli. Keeping p below 2^62 guarantees
+// that a+b never overflows uint64 and that the specialized reductions stay
+// correct.
+const maxModulus = 1 << 62
+
+// Elem is an element of Z_p in canonical form (0 ≤ e < p). Elements are
+// only meaningful relative to the Field that produced them.
+type Elem uint64
+
+// Field is an immutable description of Z_p. The zero value is invalid; use
+// New or Mersenne.
+type Field struct {
+	p uint64
+}
+
+// New returns the field Z_p. It reports an error unless p is a prime in
+// [2, 2^62).
+func New(p uint64) (Field, error) {
+	if p < 2 || p >= maxModulus {
+		return Field{}, fmt.Errorf("field: modulus %d out of range [2, 2^62)", p)
+	}
+	if !IsPrime(p) {
+		return Field{}, fmt.Errorf("field: modulus %d is not prime", p)
+	}
+	return Field{p: p}, nil
+}
+
+// Mersenne returns the field Z_p for p = 2^61 - 1, the paper's default.
+func Mersenne() Field { return Field{p: Mersenne61} }
+
+// ForUniverse returns a field whose modulus p satisfies u ≤ p ≤ 2u (the
+// requirement of §3, guaranteed to exist by Bertrand's postulate), but
+// never smaller than minModulus so that failure probabilities stay tiny.
+// Most callers should simply use Mersenne; ForUniverse exists to exercise
+// the paper's parameterization and for soundness experiments with small
+// fields.
+func ForUniverse(u uint64) (Field, error) {
+	if u < 2 {
+		u = 2
+	}
+	if u >= maxModulus/2 {
+		return Field{}, fmt.Errorf("field: universe %d too large for a 62-bit modulus", u)
+	}
+	p, err := NextPrimeAtLeast(u)
+	if err != nil {
+		return Field{}, err
+	}
+	return Field{p: p}, nil
+}
+
+// Modulus returns p.
+func (f Field) Modulus() uint64 { return f.p }
+
+// Valid reports whether f was constructed by New or Mersenne.
+func (f Field) Valid() bool { return f.p >= 2 }
+
+// Eq reports whether two fields have the same modulus.
+func (f Field) Eq(g Field) bool { return f.p == g.p }
+
+// Reduce maps an arbitrary uint64 into canonical form.
+func (f Field) Reduce(x uint64) Elem { return Elem(x % f.p) }
+
+// FromUint64 is an alias for Reduce, provided for readable call sites.
+func (f Field) FromUint64(x uint64) Elem { return f.Reduce(x) }
+
+// FromInt64 maps a signed integer into Z_p; negative values wrap to p - |v|.
+// This is how stream deltas (which the paper allows to be negative) enter
+// the field.
+func (f Field) FromInt64(v int64) Elem {
+	if v >= 0 {
+		return f.Reduce(uint64(v))
+	}
+	// Avoid overflow for MinInt64: -(v+1) is representable.
+	mag := uint64(-(v + 1)) + 1
+	r := mag % f.p
+	if r == 0 {
+		return 0
+	}
+	return Elem(f.p - r)
+}
+
+// Centered lifts e to the signed representative in (-p/2, p/2]. Protocols
+// that allow negative deltas (e.g. RANGE-SUM over signed values) use this
+// to report answers as integers.
+func (f Field) Centered(e Elem) int64 {
+	if uint64(e) <= f.p/2 {
+		return int64(e)
+	}
+	return -int64(f.p - uint64(e))
+}
+
+// Add returns a + b mod p.
+func (f Field) Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= f.p {
+		s -= f.p
+	}
+	return Elem(s)
+}
+
+// Sub returns a - b mod p.
+func (f Field) Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return Elem(uint64(a) + f.p - uint64(b))
+}
+
+// Neg returns -a mod p.
+func (f Field) Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(f.p - uint64(a))
+}
+
+// Mul returns a·b mod p. For the Mersenne modulus the reduction is
+// division-free; otherwise it uses a 128-bit product and hardware division.
+func (f Field) Mul(a, b Elem) Elem {
+	if f.p == Mersenne61 {
+		return Elem(mul61(uint64(a), uint64(b)))
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	_, rem := bits.Div64(hi, lo, f.p)
+	return Elem(rem)
+}
+
+// mul61 multiplies modulo 2^61 - 1. Since 2^64 ≡ 8 (mod p), the 128-bit
+// product hi·2^64 + lo reduces to 8·hi + lo, which is folded at bit 61.
+func mul61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a, b < 2^61 so hi < 2^58 and hi<<3 cannot overflow.
+	r := (lo & Mersenne61) + (lo >> 61) + hi<<3
+	r = (r & Mersenne61) + (r >> 61)
+	if r >= Mersenne61 {
+		r -= Mersenne61
+	}
+	return r
+}
+
+// Pow returns a^e mod p by square-and-multiply. Pow(0, 0) = 1.
+func (f Field) Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a, computed as a^(p-2)
+// (Fermat). Inv(0) returns 0; callers that can receive zero must check.
+func (f Field) Inv(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return f.Pow(a, f.p-2)
+}
+
+// InvSlice inverts every element of xs in place using Montgomery's batch
+// inversion trick (one Inv plus 3(n-1) multiplications). Zero elements are
+// left as zero.
+func (f Field) InvSlice(xs []Elem) {
+	// prefix[i] holds the product of all nonzero xs[0..i].
+	prefix := make([]Elem, len(xs))
+	acc := Elem(1)
+	for i, x := range xs {
+		if x != 0 {
+			acc = f.Mul(acc, x)
+		}
+		prefix[i] = acc
+	}
+	inv := f.Inv(acc)
+	for i := len(xs) - 1; i >= 0; i-- {
+		if xs[i] == 0 {
+			continue
+		}
+		before := Elem(1)
+		if i > 0 {
+			before = prefix[i-1]
+		}
+		x := xs[i]
+		xs[i] = f.Mul(inv, before)
+		inv = f.Mul(inv, x)
+	}
+}
+
+// RNG is the source of randomness used when sampling field elements. Both
+// math/rand(/v2) generators and CryptoRNG satisfy it.
+type RNG interface {
+	Uint64() uint64
+}
+
+// Rand returns a uniformly random field element, using rejection sampling
+// so the distribution is exactly uniform over [0, p).
+func (f Field) Rand(rng RNG) Elem {
+	// Mask to the smallest power of two ≥ p, then reject.
+	shift := bits.LeadingZeros64(f.p - 1)
+	mask := ^uint64(0) >> shift
+	for {
+		v := rng.Uint64() & mask
+		if v < f.p {
+			return Elem(v)
+		}
+	}
+}
+
+// RandVec returns n independent uniform field elements.
+func (f Field) RandVec(rng RNG, n int) []Elem {
+	out := make([]Elem, n)
+	for i := range out {
+		out[i] = f.Rand(rng)
+	}
+	return out
+}
+
+// RandNonZero returns a uniformly random element of Z_p \ {0}.
+func (f Field) RandNonZero(rng RNG) Elem {
+	for {
+		if e := f.Rand(rng); e != 0 {
+			return e
+		}
+	}
+}
+
+// ErrNoPrime is returned when a prime search would exceed the supported
+// modulus range.
+var ErrNoPrime = errors.New("field: no prime in supported range")
+
+// IsPrime reports whether n is prime, using a Miller–Rabin test with a
+// witness set that is deterministic for all 64-bit integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	// n-1 = d · 2^s with d odd.
+	d := n - 1
+	s := bits.TrailingZeros64(d)
+	d >>= uint(s)
+	// These witnesses are sufficient for all n < 2^64 (Sinclair, 2011).
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if !millerRabinWitness(n, d, s, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// millerRabinWitness reports whether n passes a single Miller–Rabin round
+// with base a.
+func millerRabinWitness(n, d uint64, s int, a uint64) bool {
+	x := powMod(a%n, d, n)
+	if x == 1 || x == n-1 {
+		return true
+	}
+	for i := 0; i < s-1; i++ {
+		x = mulMod(x, x, n)
+		if x == n-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+func powMod(a, e, m uint64) uint64 {
+	result := uint64(1 % m)
+	base := a % m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, base, m)
+		}
+		base = mulMod(base, base, m)
+		e >>= 1
+	}
+	return result
+}
+
+// NextPrimeAtLeast returns the smallest prime p ≥ n. By Bertrand's
+// postulate p ≤ 2n, which is the bound the paper relies on when choosing
+// the field for a universe of size u.
+func NextPrimeAtLeast(n uint64) (uint64, error) {
+	if n <= 2 {
+		return 2, nil
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for c := n; c < maxModulus; c += 2 {
+		if IsPrime(c) {
+			return c, nil
+		}
+	}
+	return 0, ErrNoPrime
+}

@@ -1,0 +1,46 @@
+package field
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+)
+
+// SplitMix64 is a tiny, fast, deterministic PRNG (Steele, Lea & Flood,
+// 2014). It drives all randomized tests and benchmarks in this repository
+// so that runs are reproducible; production verifiers should prefer
+// CryptoRNG, since protocol soundness rests on the prover not predicting
+// the verifier's coins.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// CryptoRNG adapts crypto/rand to the RNG interface. Use it for real
+// deployments: the verifier's security guarantee (Definition 1 of the
+// paper) holds only if its random point r is unpredictable to the prover.
+type CryptoRNG struct{}
+
+// Uint64 returns 8 bytes from the operating system's CSPRNG. It panics if
+// the system randomness source fails, which crypto/rand documents as
+// effectively impossible on supported platforms; there is no meaningful
+// way to continue a verification protocol without randomness.
+func (CryptoRNG) Uint64() uint64 {
+	var buf [8]byte
+	if _, err := cryptorand.Read(buf[:]); err != nil {
+		panic("field: system randomness unavailable: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}

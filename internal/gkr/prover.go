@@ -1,0 +1,308 @@
+package gkr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/field"
+)
+
+// Prover is the honest GKR prover. It evaluates the circuit once, then
+// answers each layer's sum-check with the standard per-gate bookkeeping:
+// every gate keeps a running product of the χ factors of its bound
+// variables, and the Ṽ_{i+1} evaluations come from a table folded by one
+// challenge per round — O(S) field operations per round, O(S log S) per
+// layer.
+type Prover struct {
+	proto  *Protocol
+	values [][]field.Elem
+
+	// Per-layer sum-check state.
+	layer   int
+	z       []field.Elem
+	k       int
+	round   int
+	eqZ     []field.Elem // χ̃_o(z) per gate output index
+	pX      []field.Elem // per gate, product of bound-x χ factors
+	pY      []field.Elem
+	wX      []field.Elem // eqZ·pX frozen after the x phase
+	bX      []field.Elem // Ṽ_{i+1} table folded by x challenges
+	bY      []field.Elem // Ṽ_{i+1} table folded by y challenges
+	vxStar  field.Elem   // Ṽ_{i+1}(x*)
+	started bool
+}
+
+// NewProver evaluates the circuit on the given input vector.
+func (p *Protocol) NewProver(input []field.Elem) (*Prover, error) {
+	values, err := p.C.Evaluate(p.F, input)
+	if err != nil {
+		return nil, err
+	}
+	return &Prover{proto: p, values: values}, nil
+}
+
+// Outputs returns the circuit's output vector (the prover's claim).
+func (pr *Prover) Outputs() []field.Elem {
+	return append([]field.Elem(nil), pr.values[0]...)
+}
+
+// StartLayer begins the sum-check for the given layer at the revealed
+// point z (the verifier's zs[layer], which the prover can also derive
+// from earlier challenges; it is passed explicitly to keep the message
+// flow of the original protocol).
+func (pr *Prover) StartLayer(layer int, z []field.Elem) error {
+	if layer != pr.layer || pr.started {
+		return fmt.Errorf("gkr: StartLayer(%d) out of order (at %d, started=%v)", layer, pr.layer, pr.started)
+	}
+	if len(z) != pr.proto.C.VarCount(layer) {
+		return fmt.Errorf("gkr: z has %d coordinates, want %d", len(z), pr.proto.C.VarCount(layer))
+	}
+	gates := pr.proto.C.Layers[layer].Gates
+	pr.z = append([]field.Elem(nil), z...)
+	pr.k = pr.proto.C.VarCount(layer + 1)
+	pr.round = 0
+	eqTable := expandEq(pr.proto.F, z)
+	pr.eqZ = make([]field.Elem, len(gates))
+	for g := range gates {
+		pr.eqZ[g] = eqTable[g]
+	}
+	pr.pX = ones(len(gates))
+	pr.pY = nil
+	pr.wX = nil
+	pr.bX = append([]field.Elem(nil), pr.values[layer+1]...)
+	pr.bY = nil
+	pr.started = true
+	return nil
+}
+
+// expandEq builds the table χ̃_o(z) for all o ∈ {0,1}^len(z),
+// least-significant variable first.
+func expandEq(f field.Field, z []field.Elem) []field.Elem {
+	table := []field.Elem{1}
+	for t, zt := range z {
+		next := make([]field.Elem, 2*len(table))
+		for o, e := range table {
+			next[o] = f.Mul(e, f.Sub(1, zt))
+			next[o|(1<<uint(t))] = f.Mul(e, zt)
+		}
+		table = next
+	}
+	return table
+}
+
+func ones(n int) []field.Elem {
+	out := make([]field.Elem, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// SumcheckMsg produces the current round's 3 evaluations g(0), g(1), g(2).
+func (pr *Prover) SumcheckMsg() ([]field.Elem, error) {
+	if !pr.started {
+		return nil, errors.New("gkr: no layer in progress")
+	}
+	if pr.round >= 2*pr.k {
+		return nil, errors.New("gkr: sum-check already finished")
+	}
+	f := pr.proto.F
+	gates := pr.proto.C.Layers[pr.layer].Gates
+	below := pr.values[pr.layer+1]
+	out := make([]field.Elem, 3)
+	inX := pr.round < pr.k
+	var t int
+	var folded []field.Elem
+	if inX {
+		t = pr.round // 0-based position within the x variables
+		folded = pr.bX
+	} else {
+		t = pr.round - pr.k
+		folded = pr.bY
+	}
+	for ci := 0; ci < 3; ci++ {
+		c := f.Reduce(uint64(ci))
+		oneMinusC := f.Sub(1, c)
+		var sum field.Elem
+		for g, gate := range gates {
+			var wire uint32
+			if inX {
+				wire = gate.In1
+			} else {
+				wire = gate.In2
+			}
+			bit := (wire >> uint(t)) & 1
+			var chiC field.Elem
+			if bit == 0 {
+				chiC = oneMinusC
+			} else {
+				chiC = c
+			}
+			// Ṽ at (bound, c, wire suffix): two adjacent folded entries.
+			suffix := wire >> uint(t)
+			i0 := suffix &^ 1
+			a, b := folded[i0], folded[i0|1]
+			vPartial := f.Add(a, f.Mul(c, f.Sub(b, a)))
+			var opVal field.Elem
+			if inX {
+				vy := below[gate.In2]
+				if gate.Type == circuit.Add {
+					opVal = f.Add(vPartial, vy)
+				} else {
+					opVal = f.Mul(vPartial, vy)
+				}
+				sum = f.Add(sum, f.Mul(f.Mul(pr.eqZ[g], pr.pX[g]), f.Mul(chiC, opVal)))
+			} else {
+				if gate.Type == circuit.Add {
+					opVal = f.Add(pr.vxStar, vPartial)
+				} else {
+					opVal = f.Mul(pr.vxStar, vPartial)
+				}
+				sum = f.Add(sum, f.Mul(f.Mul(pr.wX[g], pr.pY[g]), f.Mul(chiC, opVal)))
+			}
+		}
+		out[ci] = sum
+	}
+	return out, nil
+}
+
+// Bind consumes the verifier's challenge for the current round.
+func (pr *Prover) Bind(r field.Elem) error {
+	if !pr.started || pr.round >= 2*pr.k {
+		return errors.New("gkr: no round to bind")
+	}
+	f := pr.proto.F
+	gates := pr.proto.C.Layers[pr.layer].Gates
+	inX := pr.round < pr.k
+	var t int
+	if inX {
+		t = pr.round
+	} else {
+		t = pr.round - pr.k
+	}
+	oneMinusR := f.Sub(1, r)
+	for g, gate := range gates {
+		var wire uint32
+		if inX {
+			wire = gate.In1
+		} else {
+			wire = gate.In2
+		}
+		factor := r
+		if (wire>>uint(t))&1 == 0 {
+			factor = oneMinusR
+		}
+		if inX {
+			pr.pX[g] = f.Mul(pr.pX[g], factor)
+		} else {
+			pr.pY[g] = f.Mul(pr.pY[g], factor)
+		}
+	}
+	if inX {
+		pr.bX = foldOnce(f, pr.bX, r)
+	} else {
+		pr.bY = foldOnce(f, pr.bY, r)
+	}
+	pr.round++
+	if pr.round == pr.k {
+		// x phase complete: freeze the per-gate x weights and Ṽ(x*).
+		pr.vxStar = pr.bX[0]
+		pr.wX = make([]field.Elem, len(gates))
+		for g := range gates {
+			pr.wX[g] = f.Mul(pr.eqZ[g], pr.pX[g])
+		}
+		pr.pY = ones(len(gates))
+		pr.bY = append([]field.Elem(nil), pr.values[pr.layer+1]...)
+	}
+	return nil
+}
+
+func foldOnce(f field.Field, table []field.Elem, r field.Elem) []field.Elem {
+	next := make([]field.Elem, len(table)/2)
+	for w := range next {
+		a, b := table[2*w], table[2*w+1]
+		next[w] = f.Add(a, f.Mul(r, f.Sub(b, a)))
+	}
+	return next
+}
+
+// LinePoly returns the k+1 evaluations of q(t) = Ṽ_{layer+1}(x* + t(y*-x*))
+// at t = 0..k. It requires the sum-check to be complete; the x* and y*
+// points are reconstructed from the bound challenges implicitly by
+// evaluating the value table along the line.
+func (pr *Prover) LinePoly(xStar, yStar []field.Elem) ([]field.Elem, error) {
+	if !pr.started || pr.round != 2*pr.k {
+		return nil, errors.New("gkr: sum-check not finished")
+	}
+	f := pr.proto.F
+	out := make([]field.Elem, pr.k+1)
+	point := make([]field.Elem, pr.k)
+	for ti := 0; ti <= pr.k; ti++ {
+		t := f.Reduce(uint64(ti))
+		for j := 0; j < pr.k; j++ {
+			point[j] = f.Add(xStar[j], f.Mul(t, f.Sub(yStar[j], xStar[j])))
+		}
+		out[ti] = foldAt(f, pr.values[pr.layer+1], point)
+	}
+	return out, nil
+}
+
+// FinishLayer closes the completed layer. (The next layer's point
+// z = x* + t*(y* − x*) is derivable by the prover from the revealed
+// challenges; the runner passes it explicitly to StartLayer, matching the
+// message flow of the original protocol.)
+func (pr *Prover) FinishLayer() error {
+	if !pr.started || pr.round != 2*pr.k {
+		return errors.New("gkr: sum-check not finished")
+	}
+	pr.layer++
+	pr.started = false
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Runner
+
+// Run drives a complete conversation and returns the verifier's stats.
+// A nil error means the verifier accepted (including the streamed input
+// check).
+func Run(p *Prover, v *Verifier) (Stats, error) {
+	if err := v.ReceiveOutputs(p.Outputs()); err != nil {
+		return v.Stats(), err
+	}
+	numLayers := len(p.proto.C.Layers)
+	for layer := 0; layer < numLayers; layer++ {
+		if err := p.StartLayer(layer, v.zs[layer]); err != nil {
+			return v.Stats(), err
+		}
+		k := p.proto.C.VarCount(layer + 1)
+		for round := 0; round < 2*k; round++ {
+			msg, err := p.SumcheckMsg()
+			if err != nil {
+				return v.Stats(), err
+			}
+			r, err := v.ReceiveSumcheck(msg)
+			if err != nil {
+				return v.Stats(), err
+			}
+			if err := p.Bind(r); err != nil {
+				return v.Stats(), err
+			}
+		}
+		line, err := p.LinePoly(v.xs[layer], v.ys[layer])
+		if err != nil {
+			return v.Stats(), err
+		}
+		if _, err := v.ReceiveLine(line); err != nil {
+			return v.Stats(), err
+		}
+		if err := p.FinishLayer(); err != nil {
+			return v.Stats(), err
+		}
+	}
+	if !v.Done() {
+		return v.Stats(), errors.New("gkr: conversation ended without input check")
+	}
+	return v.Stats(), nil
+}

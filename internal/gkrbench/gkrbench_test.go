@@ -1,0 +1,33 @@
+package gkrbench
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+// TestCompareF2 checks that both protocols accept, agree, and exhibit the
+// §3-Remarks cost ordering: GKR strictly more communication and rounds.
+func TestCompareF2(t *testing.T) {
+	f := field.Mersenne()
+	var prevRatio float64
+	for _, logu := range []int{3, 5, 7} {
+		native, gkrRow, err := CompareF2(f, uint64(1)<<logu, 77)
+		if err != nil {
+			t.Fatalf("u=2^%d: %v", logu, err)
+		}
+		if !native.Accepted || !gkrRow.Accepted {
+			t.Fatalf("u=2^%d: a protocol did not accept", logu)
+		}
+		if gkrRow.CommWords <= native.CommWords || gkrRow.Rounds <= native.Rounds {
+			t.Fatalf("u=2^%d: GKR (%d words, %d rounds) not above native (%d, %d)",
+				logu, gkrRow.CommWords, gkrRow.Rounds, native.CommWords, native.Rounds)
+		}
+		// The quadratic gap: the ratio must grow with log u.
+		ratio := float64(gkrRow.CommWords) / float64(native.CommWords)
+		if ratio <= prevRatio {
+			t.Fatalf("u=2^%d: comm ratio %.2f did not grow (prev %.2f)", logu, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}

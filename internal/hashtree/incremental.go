@@ -1,0 +1,173 @@
+package hashtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/stream"
+)
+
+// IncrementalTree is the prover-side tree for the interactive protocols of
+// §4 and §6.1: the level randomness r_j (and q_j for augmented trees) is
+// revealed by the verifier one round at a time, so node *hashes* can only
+// be computed one level per round. Subtree *counts* are independent of the
+// randomness, so the whole count skeleton is built up front — the
+// heavy-hitters prover needs level-(l+1) counts to select the children it
+// reveals at level l before r_{l+1} is known.
+//
+// Levels are sparse (only nonzero subtrees are materialized), giving the
+// O(min(u, n log(u/n))) prover size of Theorem 5.
+type IncrementalTree struct {
+	F      field.Field
+	Params Params
+	Kind   Kind
+	levels [][]Node
+	r      []field.Elem
+	q      []field.Elem
+}
+
+// NewIncremental aggregates the updates into sorted nonzero leaves and
+// builds the count skeleton of every level. Level-0 hashes (the leaf
+// values) are available immediately; higher-level hashes require Extend.
+func NewIncremental(f field.Field, params Params, kind Kind, updates []stream.Update) (*IncrementalTree, error) {
+	agg := make(map[uint64]int64, len(updates))
+	for _, u := range updates {
+		if u.Index >= params.U {
+			return nil, fmt.Errorf("hashtree: index %d outside universe [0,%d)", u.Index, params.U)
+		}
+		agg[u.Index] += u.Delta
+	}
+	leaves := make([]Node, 0, len(agg))
+	for i, c := range agg {
+		if c == 0 {
+			continue
+		}
+		leaves = append(leaves, Node{Index: i, Hash: f.FromInt64(c), Count: c})
+	}
+	sort.Slice(leaves, func(a, b int) bool { return leaves[a].Index < leaves[b].Index })
+	t := &IncrementalTree{F: f, Params: params, Kind: kind, levels: make([][]Node, params.D+1)}
+	t.levels[0] = leaves
+	for j := 1; j <= params.D; j++ {
+		prev := t.levels[j-1]
+		var cur []Node
+		for i := 0; i < len(prev); {
+			parent := prev[i].Index >> 1
+			var count int64
+			for ; i < len(prev) && prev[i].Index>>1 == parent; i++ {
+				count += prev[i].Count
+			}
+			cur = append(cur, Node{Index: parent, Count: count})
+		}
+		t.levels[j] = cur
+	}
+	return t, nil
+}
+
+// BuiltLevels returns how many levels above the leaves have hashes.
+func (t *IncrementalTree) BuiltLevels() int { return len(t.r) }
+
+// Extend fills in the hashes of the next level using the freshly revealed
+// randomness (q is ignored unless the tree uses the augmented hash; pass 0
+// for plain trees).
+func (t *IncrementalTree) Extend(r, q field.Elem) error {
+	j := len(t.r) + 1
+	if j > t.Params.D {
+		return fmt.Errorf("hashtree: tree already fully built (%d levels)", t.Params.D)
+	}
+	t.r = append(t.r, r)
+	t.q = append(t.q, q)
+	h := Hasher{F: t.F, Params: t.Params, Kind: t.Kind, R: t.r, Q: t.q}
+	prev := t.levels[j-1]
+	cur := t.levels[j]
+	pi := 0
+	for ci := range cur {
+		parent := cur[ci].Index
+		var left, right field.Elem
+		for ; pi < len(prev) && prev[pi].Index>>1 == parent; pi++ {
+			if prev[pi].Index&1 == 0 {
+				left = prev[pi].Hash
+			} else {
+				right = prev[pi].Hash
+			}
+		}
+		cur[ci].Hash = h.Combine(j, left, right, t.F.FromInt64(cur[ci].Count))
+	}
+	return nil
+}
+
+// Node returns the node at (level, index). Counts are always valid;
+// requesting a node whose hash is not yet computable is an error. Absent
+// nodes are the implicit all-zero node.
+func (t *IncrementalTree) Node(level int, index uint64) (Node, error) {
+	if level < 0 || level > len(t.r) {
+		return Node{}, fmt.Errorf("hashtree: level %d hashes not built (have %d)", level, len(t.r))
+	}
+	return t.lookup(level, index), nil
+}
+
+// Count returns the subtree count at (level, index); valid at any level.
+func (t *IncrementalTree) Count(level int, index uint64) (int64, error) {
+	if level < 0 || level > t.Params.D {
+		return 0, fmt.Errorf("hashtree: level %d out of range", level)
+	}
+	return t.lookup(level, index).Count, nil
+}
+
+func (t *IncrementalTree) lookup(level int, index uint64) Node {
+	nodes := t.levels[level]
+	k := sort.Search(len(nodes), func(i int) bool { return nodes[i].Index >= index })
+	if k < len(nodes) && nodes[k].Index == index {
+		return nodes[k]
+	}
+	return Node{Index: index}
+}
+
+// LeavesInRange returns the nonzero leaves with qL ≤ index ≤ qR.
+func (t *IncrementalTree) LeavesInRange(qL, qR uint64) []Node {
+	leaves := t.levels[0]
+	lo := sort.Search(len(leaves), func(i int) bool { return leaves[i].Index >= qL })
+	hi := sort.Search(len(leaves), func(i int) bool { return leaves[i].Index > qR })
+	return leaves[lo:hi]
+}
+
+// Level returns the materialized nodes of a level whose hashes are built.
+func (t *IncrementalTree) Level(level int) ([]Node, error) {
+	if level < 0 || level > len(t.r) {
+		return nil, fmt.Errorf("hashtree: level %d hashes not built (have %d)", level, len(t.r))
+	}
+	return t.levels[level], nil
+}
+
+// HeavyLeaves returns the leaves with Count ≥ threshold.
+func (t *IncrementalTree) HeavyLeaves(threshold int64) []Node {
+	var out []Node
+	for _, n := range t.levels[0] {
+		if n.Count >= threshold {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HeavyChildren returns all level-l nodes that are children of level-(l+1)
+// nodes with Count ≥ threshold, with zero siblings materialized — the
+// round message of the §6.1 heavy-hitters protocol. The children's hashes
+// must already be built (level 0 always is); the parents' counts are
+// always available.
+func (t *IncrementalTree) HeavyChildren(l int, threshold int64) ([]Node, error) {
+	if l < 0 || l > len(t.r) {
+		return nil, fmt.Errorf("hashtree: level %d hashes not built (have %d)", l, len(t.r))
+	}
+	if l+1 > t.Params.D {
+		return nil, fmt.Errorf("hashtree: level %d has no parents", l)
+	}
+	var out []Node
+	for _, p := range t.levels[l+1] {
+		if p.Count < threshold {
+			continue
+		}
+		out = append(out, t.lookup(l, 2*p.Index), t.lookup(l, 2*p.Index+1))
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+)
+
+func leavesOf(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestBuildAndVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 100} {
+		leaves := leavesOf(n)
+		tree, err := Build(leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != n {
+			t.Fatalf("Len = %d, want %d", tree.Len(), n)
+		}
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			path, err := tree.Proof(uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path) != tree.Height() {
+				t.Fatalf("n=%d: path length %d, want %d", n, len(path), tree.Height())
+			}
+			if !VerifyProof(root, leaves[i], uint64(i), path) {
+				t.Fatalf("n=%d: valid proof for leaf %d rejected", n, i)
+			}
+			// Wrong leaf content must fail.
+			if VerifyProof(root, []byte("evil"), uint64(i), path) {
+				t.Fatalf("n=%d: forged leaf accepted at %d", n, i)
+			}
+			// Wrong position must fail (except trivially identical paths).
+			if n > 1 && VerifyProof(root, leaves[i], uint64(i)^1, path) {
+				t.Fatalf("n=%d: wrong position accepted at %d", n, i)
+			}
+		}
+	}
+	if _, err := Build(nil); err == nil {
+		t.Error("empty build accepted")
+	}
+}
+
+func TestProofTamperRejected(t *testing.T) {
+	tree, err := Build(leavesOf(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := tree.Proof(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl := range path {
+		bad := append([]Digest(nil), path...)
+		bad[lvl][0] ^= 1
+		if VerifyProof(tree.Root(), []byte("leaf-5"), 5, bad) {
+			t.Fatalf("tampered digest at level %d accepted", lvl)
+		}
+	}
+	if _, err := tree.Proof(99); err == nil {
+		t.Error("out-of-range proof accepted")
+	}
+}
+
+func TestDeterministicRoot(t *testing.T) {
+	a, err := Build(leavesOf(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(leavesOf(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("same leaves gave different roots")
+	}
+	c, err := Build(leavesOf(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Root() == c.Root() {
+		t.Fatal("different leaf sets gave the same root")
+	}
+}
+
+// TestCommitment exercises the Universal-Argument commitment layer.
+func TestCommitment(t *testing.T) {
+	words := make([]uint64, 64)
+	for i := range words {
+		words[i] = uint64(i * i)
+	}
+	com, root, err := Commit(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []uint64{0, 1, 31, 63} {
+		o, err := com.Open(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Word = words[i]
+		if !VerifyOpen(root, o) {
+			t.Fatalf("valid opening at %d rejected", i)
+		}
+		o.Word++
+		if VerifyOpen(root, o) {
+			t.Fatalf("forged opening at %d accepted", i)
+		}
+		// Logarithmic opening size — the Theorem-2 communication bound.
+		if o.PathWords() > 2+4*MinHeightFor(len(words)) {
+			t.Fatalf("opening cost %d words not logarithmic", o.PathWords())
+		}
+	}
+	if _, err := com.Open(64); err == nil {
+		t.Error("out-of-range open accepted")
+	}
+}
+
+// TestLinearMaintainerCost documents the prior-work limitation: the
+// update frontier is linear in the tree, unlike the O(log u) algebraic
+// root of internal/hashtree.
+func TestLinearMaintainerCost(t *testing.T) {
+	small, err := Build(leavesOf(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(leavesOf(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.UpdateCost() < 10*small.UpdateCost() {
+		t.Fatalf("update cost did not grow linearly: %d vs %d", small.UpdateCost(), big.UpdateCost())
+	}
+}
+
+func TestMinHeightFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10}
+	for n, want := range cases {
+		if got := MinHeightFor(n); got != want {
+			t.Errorf("MinHeightFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

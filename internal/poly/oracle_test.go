@@ -1,0 +1,53 @@
+package poly
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+// TestEvalOracleInterpolant cross-checks the O(1)-space oracle evaluation
+// against explicit interpolation for several degrees and points.
+func TestEvalOracleInterpolant(t *testing.T) {
+	rng := field.NewSplitMix64(15)
+	for _, n := range []int{1, 2, 3, 8, 33, 100} {
+		ys := f61.RandVec(rng, n)
+		h := func(i uint64) field.Elem { return ys[i] }
+		xs := make([]field.Elem, n)
+		for i := range xs {
+			xs[i] = f61.Reduce(uint64(i))
+		}
+		ref, err := Interpolate(f61, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At the nodes.
+		for i := 0; i < n; i++ {
+			got, err := EvalOracleInterpolant(f61, n, h, field.Elem(i))
+			if err != nil || got != ys[i] {
+				t.Fatalf("n=%d node %d: got %d, %v; want %d", n, i, got, err, ys[i])
+			}
+		}
+		// At random points.
+		for k := 0; k < 20; k++ {
+			x := f61.Rand(rng)
+			got, err := EvalOracleInterpolant(f61, n, h, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ref.Eval(f61, x); got != want {
+				t.Fatalf("n=%d at %d: got %d, want %d", n, x, got, want)
+			}
+		}
+	}
+	if _, err := EvalOracleInterpolant(f61, 0, nil, 5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	small, err := field.New(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalOracleInterpolant(small, 18, func(uint64) field.Elem { return 1 }, 3); err == nil {
+		t.Error("n > p accepted")
+	}
+}

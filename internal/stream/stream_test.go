@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/field"
+)
+
+func TestApply(t *testing.T) {
+	ups := []Update{{0, 5}, {3, 2}, {0, -3}, {7, 1}}
+	a, err := Apply(ups, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 0, 0, 2, 0, 0, 0, 1}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+	if _, err := Apply([]Update{{8, 1}}, 8); err == nil {
+		t.Error("out-of-universe index accepted")
+	}
+}
+
+func TestSumDeltas(t *testing.T) {
+	if got := SumDeltas([]Update{{0, 5}, {1, -2}, {2, 3}}); got != 6 {
+		t.Errorf("SumDeltas = %d, want 6", got)
+	}
+	if got := SumDeltas(nil); got != 0 {
+		t.Errorf("SumDeltas(nil) = %d", got)
+	}
+}
+
+func TestUniformDeltas(t *testing.T) {
+	rng := field.NewSplitMix64(1)
+	ups := UniformDeltas(100, 1000, rng)
+	if len(ups) != 100 {
+		t.Fatalf("len = %d", len(ups))
+	}
+	for i, u := range ups {
+		if u.Index != uint64(i) {
+			t.Fatalf("index %d = %d", i, u.Index)
+		}
+		if u.Delta < 0 || u.Delta > 1000 {
+			t.Fatalf("delta %d out of [0,1000]", u.Delta)
+		}
+	}
+	// Deterministic under the same seed.
+	again := UniformDeltas(100, 1000, field.NewSplitMix64(1))
+	for i := range ups {
+		if ups[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestUnitIncrements(t *testing.T) {
+	rng := field.NewSplitMix64(2)
+	ups := UnitIncrements(50, 500, rng)
+	if len(ups) != 500 {
+		t.Fatalf("len = %d", len(ups))
+	}
+	for _, u := range ups {
+		if u.Delta != 1 {
+			t.Fatalf("delta = %d, want 1", u.Delta)
+		}
+		if u.Index >= 50 {
+			t.Fatalf("index %d out of range", u.Index)
+		}
+	}
+	if SumDeltas(ups) != 500 {
+		t.Fatal("unit increments must sum to n")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := field.NewSplitMix64(3)
+	ups, err := Zipf(1000, 20000, 1.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Apply(ups, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf mass concentrates at low indices: item 0 should dominate the
+	// tail item 999 by a large factor, and the head should hold most mass.
+	if a[0] < 50*max64(a[999], 1) {
+		t.Errorf("zipf not skewed: a[0]=%d a[999]=%d", a[0], a[999])
+	}
+	var head int64
+	for _, v := range a[:10] {
+		head += v
+	}
+	if head < 20000/4 {
+		t.Errorf("top-10 mass %d too small for zipf(1.2)", head)
+	}
+	if _, err := Zipf(0, 10, 1.0, rng); err == nil {
+		t.Error("u=0 accepted")
+	}
+	if _, err := Zipf(10, 10, 0, rng); err == nil {
+		t.Error("s=0 accepted")
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestDistinctKV(t *testing.T) {
+	rng := field.NewSplitMix64(4)
+	pairs, err := DistinctKV(1000, 200, 99, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 200 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	seen := map[uint64]bool{}
+	for i, p := range pairs {
+		if seen[p.Key] {
+			t.Fatalf("duplicate key %d", p.Key)
+		}
+		seen[p.Key] = true
+		if p.Value > 99 {
+			t.Fatalf("value %d out of range", p.Value)
+		}
+		if i > 0 && pairs[i-1].Key >= p.Key {
+			t.Fatal("pairs not sorted by key")
+		}
+	}
+	if _, err := DistinctKV(10, 11, 5, rng); err == nil {
+		t.Error("n > u accepted")
+	}
+	ups := KVUpdates(pairs)
+	if len(ups) != len(pairs) {
+		t.Fatal("KVUpdates length mismatch")
+	}
+	if ups[0].Index != pairs[0].Key || ups[0].Delta != int64(pairs[0].Value) {
+		t.Fatal("KVUpdates content mismatch")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	rng := field.NewSplitMix64(5)
+	ups := UnitIncrements(64, 100, rng)
+	ups = append(ups, Update{Index: 3, Delta: -17})
+	var buf bytes.Buffer
+	if err := Write(&buf, 64, ups); err != nil {
+		t.Fatal(err)
+	}
+	u, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 64 {
+		t.Fatalf("u = %d", u)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("len = %d, want %d", len(got), len(ups))
+	}
+	for i := range ups {
+		if got[i] != ups[i] {
+			t.Fatalf("record %d = %v, want %v", i, got[i], ups[i])
+		}
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 16, nil); err != nil {
+		t.Fatal(err)
+	}
+	u, got, err := Read(&buf)
+	if err != nil || u != 16 || len(got) != 0 {
+		t.Fatalf("empty roundtrip: u=%d len=%d err=%v", u, len(got), err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("XYZ"))); err == nil {
+		t.Error("short magic accepted")
+	}
+	if _, _, err := Read(bytes.NewReader([]byte("BAD!12345678123456781234"))); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	// Valid header claiming one record but truncated body.
+	var buf bytes.Buffer
+	if err := Write(&buf, 8, []Update{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

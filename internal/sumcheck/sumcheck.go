@@ -1,0 +1,457 @@
+// Package sumcheck implements the interactive sum-check protocol engine
+// underlying all aggregation queries of Cormode–Thaler–Yi (§3, App. B.1).
+//
+// The statement being proved is
+//
+//	claim = Σ_{x ∈ [ℓ]^d} C(f_1(x), …, f_T(x))
+//
+// where each f_t is the low-degree extension of a streamed vector and C is
+// a low-degree "combiner": v² for SELF-JOIN SIZE, v^k for frequency
+// moments, v·w for INNER PRODUCT / RANGE-SUM, and h̃(v) for the
+// frequency-based functions of §6.2.
+//
+// Protocol shape (§3.1): in round j the prover sends the univariate
+//
+//	g_j(x_j) = Σ_{x_{j+1..d} ∈ [ℓ]^{d-j}} C(f(r_1,…,r_{j-1}, x_j, x_{j+1..d}))
+//
+// as deg+1 evaluations g_j(0..deg). The verifier checks
+// Σ_{x∈[ℓ]} g_j(x) = g_{j-1}(r_{j-1}) (round 1 checks against the claim),
+// answers with the challenge r_j, and after round d checks
+// g_d(r_d) = C(f(r)) against the value it computed from the stream.
+// Sending evaluations rather than coefficients makes the paper's "reject
+// if the degree of g is too high" check structural: a message of the wrong
+// length is rejected outright.
+//
+// The honest prover uses the table-folding algorithm of Appendix B.1
+// (there written for ℓ=2): after round j it replaces its size-m tables by
+// size-m/ℓ tables folded by χ(r_j), so total work is O(deg·u) field
+// operations — the "at most a logarithmic factor more work than simply
+// providing the answer" property the paper emphasizes.
+package sumcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/lde"
+	"repro/internal/poly"
+)
+
+// ErrReject is returned by the verifier when a prover message fails a
+// consistency check; per Definition 1 the verifier outputs ⊥.
+var ErrReject = errors.New("sumcheck: proof rejected")
+
+// Combiner is the function C applied to the extensions inside the sum.
+type Combiner interface {
+	// Arity is the number of tables/extensions combined (T above).
+	Arity() int
+	// PerVariableDegree is the degree of C(f_1,…,f_T) in each variable
+	// x_j, which bounds deg g_j. Each f_t has degree ℓ-1 per variable.
+	PerVariableDegree(ell int) int
+	// Apply evaluates C on one tuple of values.
+	Apply(f field.Field, vals []field.Elem) field.Elem
+}
+
+// Power implements C(v) = v^K: K=2 is SELF-JOIN SIZE, larger K the k-th
+// frequency moment (§3.2).
+type Power struct{ K int }
+
+// Arity returns 1.
+func (p Power) Arity() int { return 1 }
+
+// PerVariableDegree returns K·(ℓ-1).
+func (p Power) PerVariableDegree(ell int) int { return p.K * (ell - 1) }
+
+// Apply returns vals[0]^K.
+func (p Power) Apply(f field.Field, vals []field.Elem) field.Elem {
+	return f.Pow(vals[0], uint64(p.K))
+}
+
+// Product implements C(v, w) = v·w, the INNER PRODUCT combiner (§3.2).
+type Product struct{}
+
+// Arity returns 2.
+func (Product) Arity() int { return 2 }
+
+// PerVariableDegree returns 2(ℓ-1).
+func (Product) PerVariableDegree(ell int) int { return 2 * (ell - 1) }
+
+// Apply returns vals[0]·vals[1].
+func (Product) Apply(f field.Field, vals []field.Elem) field.Elem {
+	return f.Mul(vals[0], vals[1])
+}
+
+// PolyFn implements C(v) = H(v) for an explicit low-degree polynomial H —
+// the h̃ of the frequency-based protocols (§6.2). The prover carries H in
+// coefficient form; the verifier of those protocols carries only
+// MinDegree (H=nil), since it never calls Apply — it computes h̃ at its
+// single point by the O(1)-space oracle method (poly.EvalOracleInterpolant).
+//
+// MinDegree pins the declared degree so both parties agree on the message
+// length even when H happens to have lower degree than the interpolation
+// bound.
+type PolyFn struct {
+	H         poly.Poly
+	MinDegree int
+}
+
+// Arity returns 1.
+func (p PolyFn) Arity() int { return 1 }
+
+// PerVariableDegree returns max(deg(H), MinDegree)·(ℓ-1).
+func (p PolyFn) PerVariableDegree(ell int) int {
+	d := p.H.Degree()
+	if d < p.MinDegree {
+		d = p.MinDegree
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d * (ell - 1)
+}
+
+// Apply returns H(vals[0]).
+func (p PolyFn) Apply(f field.Field, vals []field.Elem) field.Elem {
+	return p.H.Eval(f, vals[0])
+}
+
+// Config fixes the parameters shared by prover and verifier.
+type Config struct {
+	Field    field.Field
+	Params   lde.Params
+	Combiner Combiner
+}
+
+func (c Config) degree() int {
+	d := c.Combiner.PerVariableDegree(c.Params.Ell)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// MessageLen returns the number of field elements per round message
+// (deg+1 evaluations).
+func (c Config) MessageLen() int { return c.degree() + 1 }
+
+// Rounds returns the number of rounds d.
+func (c Config) Rounds() int { return c.Params.D }
+
+// Validate reports whether the configuration is usable: a valid field, a
+// combiner, and a message degree small enough for distinct evaluation
+// points to exist in the field.
+func (c Config) Validate() error {
+	if !c.Field.Valid() {
+		return errors.New("sumcheck: invalid field")
+	}
+	if c.Combiner == nil {
+		return errors.New("sumcheck: nil combiner")
+	}
+	if uint64(c.degree())+1 > c.Field.Modulus() {
+		return fmt.Errorf("sumcheck: message degree %d too large for field %d", c.degree(), c.Field.Modulus())
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Prover
+
+// Prover is the honest prover: it stores the full frequency tables and
+// answers each round from progressively folded copies.
+type Prover struct {
+	cfg     Config
+	tables  [][]field.Elem
+	chiAt   [][]field.Elem // chiAt[c][k] = χ_k(c) for evaluation points c=0..deg
+	weights []field.Elem   // Lagrange basis weights for arbitrary-point folds
+	round   int
+}
+
+// NewProver builds a prover over explicit tables, one per combiner slot,
+// each of length exactly ℓ^d. Tables are copied; the caller's slices are
+// not modified.
+func NewProver(cfg Config, tables ...[]field.Elem) (*Prover, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tables) != cfg.Combiner.Arity() {
+		return nil, fmt.Errorf("sumcheck: combiner arity %d but %d tables", cfg.Combiner.Arity(), len(tables))
+	}
+	own := make([][]field.Elem, len(tables))
+	for t, tab := range tables {
+		if uint64(len(tab)) != cfg.Params.U {
+			return nil, fmt.Errorf("sumcheck: table %d has %d entries, want %d", t, len(tab), cfg.Params.U)
+		}
+		own[t] = append([]field.Elem(nil), tab...)
+	}
+	deg := cfg.degree()
+	weights := lde.BasisWeights(cfg.Field, cfg.Params.Ell)
+	chiAt := make([][]field.Elem, deg+1)
+	for c := 0; c <= deg; c++ {
+		chiAt[c] = lde.AllChi(cfg.Field, weights, cfg.Field.Reduce(uint64(c)))
+	}
+	return &Prover{cfg: cfg, tables: own, chiAt: chiAt, weights: weights}, nil
+}
+
+// Total returns the true value of the sum — the answer the prover claims.
+func (p *Prover) Total() field.Elem {
+	f := p.cfg.Field
+	vals := make([]field.Elem, len(p.tables))
+	var total field.Elem
+	for i := range p.tables[0] {
+		for t := range p.tables {
+			vals[t] = p.tables[t][i]
+		}
+		total = f.Add(total, p.cfg.Combiner.Apply(f, vals))
+	}
+	return total
+}
+
+// RoundMessage computes the evaluations g_j(0..deg) for the current round.
+// It must be called exactly once per round, alternating with Fold.
+func (p *Prover) RoundMessage() ([]field.Elem, error) {
+	if p.round >= p.cfg.Params.D {
+		return nil, fmt.Errorf("sumcheck: all %d rounds already played", p.cfg.Params.D)
+	}
+	f := p.cfg.Field
+	ell := p.cfg.Params.Ell
+	deg := p.cfg.degree()
+	size := len(p.tables[0]) / ell
+	out := make([]field.Elem, deg+1)
+	vals := make([]field.Elem, len(p.tables))
+	for c := 0; c <= deg; c++ {
+		chi := p.chiAt[c]
+		var sum field.Elem
+		for w := 0; w < size; w++ {
+			for t, tab := range p.tables {
+				base := w * ell
+				if c < ell {
+					// χ at a node is an indicator: direct read.
+					vals[t] = tab[base+c]
+				} else if ell == 2 {
+					// (1-c)·T0 + c·T1 = T0 + c·(T1-T0): one multiply.
+					vals[t] = f.Add(tab[base], f.Mul(f.Reduce(uint64(c)), f.Sub(tab[base+1], tab[base])))
+				} else {
+					var acc field.Elem
+					for k := 0; k < ell; k++ {
+						if tv := tab[base+k]; tv != 0 {
+							acc = f.Add(acc, f.Mul(chi[k], tv))
+						}
+					}
+					vals[t] = acc
+				}
+			}
+			sum = f.Add(sum, p.cfg.Combiner.Apply(f, vals))
+		}
+		out[c] = sum
+	}
+	return out, nil
+}
+
+// Fold binds the current round's variable to the verifier's challenge r,
+// shrinking every table by a factor of ℓ.
+func (p *Prover) Fold(r field.Elem) error {
+	if p.round >= p.cfg.Params.D {
+		return fmt.Errorf("sumcheck: all %d rounds already folded", p.cfg.Params.D)
+	}
+	f := p.cfg.Field
+	ell := p.cfg.Params.Ell
+	chi := lde.AllChi(f, p.weights, r)
+	for t, tab := range p.tables {
+		size := len(tab) / ell
+		next := make([]field.Elem, size)
+		if ell == 2 {
+			for w := 0; w < size; w++ {
+				// (1-r)·T0 + r·T1 = T0 + r·(T1-T0).
+				next[w] = f.Add(tab[2*w], f.Mul(r, f.Sub(tab[2*w+1], tab[2*w])))
+			}
+		} else {
+			for w := 0; w < size; w++ {
+				var acc field.Elem
+				for k := 0; k < ell; k++ {
+					if tv := tab[w*ell+k]; tv != 0 {
+						acc = f.Add(acc, f.Mul(chi[k], tv))
+					}
+				}
+				next[w] = acc
+			}
+		}
+		p.tables[t] = next
+	}
+	p.round++
+	return nil
+}
+
+// Round reports the current round index (0-based; equals the number of
+// folds performed).
+func (p *Prover) Round() int { return p.round }
+
+// ---------------------------------------------------------------------
+// Verifier
+
+// Verifier checks the conversation. It is constructed after the stream
+// phase: by then the verifier knows the claimed total and has computed
+// C(f_1(r),…,f_T(r)) from its streaming LDE evaluations.
+type Verifier struct {
+	cfg      Config
+	r        []field.Elem // pre-sampled challenges, revealed one per round
+	claim    field.Elem   // value the next message must sum to
+	expected field.Elem   // C(f(r)), the final check anchor
+	ev       *poly.ConsecutiveEvaluator
+	round    int
+	rejected bool
+}
+
+// NewVerifier constructs a verifier for the given claim.
+//
+//   - r is the secret random point the verifier chose before the stream
+//     (exactly the point at which it evaluated the LDEs);
+//   - claimedTotal is the answer the prover asserts;
+//   - expectedFinal is C applied to the streamed LDE evaluations at r.
+func NewVerifier(cfg Config, r []field.Elem, claimedTotal, expectedFinal field.Elem) (*Verifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(r) != cfg.Params.D {
+		return nil, fmt.Errorf("sumcheck: challenge vector has %d entries, want %d", len(r), cfg.Params.D)
+	}
+	ev, err := poly.NewConsecutiveEvaluator(cfg.Field, cfg.MessageLen())
+	if err != nil {
+		return nil, err
+	}
+	return &Verifier{
+		cfg:      cfg,
+		r:        append([]field.Elem(nil), r...),
+		claim:    claimedTotal,
+		expected: expectedFinal,
+		ev:       ev,
+	}, nil
+}
+
+// Receive processes the round message g_j(0..deg). It returns ErrReject
+// (wrapped with detail) if any check fails. After the last round it
+// performs the final LDE consistency check.
+func (v *Verifier) Receive(evals []field.Elem) error {
+	if v.rejected {
+		return fmt.Errorf("%w: verifier already rejected", ErrReject)
+	}
+	if v.round >= v.cfg.Params.D {
+		return fmt.Errorf("sumcheck: message after final round")
+	}
+	// Structural degree check (the paper's "rejects if the degree of g is
+	// too high").
+	if len(evals) != v.cfg.MessageLen() {
+		v.rejected = true
+		return fmt.Errorf("%w: round %d message has %d evaluations, want %d",
+			ErrReject, v.round+1, len(evals), v.cfg.MessageLen())
+	}
+	for _, e := range evals {
+		if uint64(e) >= v.cfg.Field.Modulus() {
+			v.rejected = true
+			return fmt.Errorf("%w: round %d message contains non-canonical element", ErrReject, v.round+1)
+		}
+	}
+	sum, err := poly.SumPrefix(v.cfg.Field, evals, v.cfg.Params.Ell)
+	if err != nil {
+		return err
+	}
+	if sum != v.claim {
+		v.rejected = true
+		return fmt.Errorf("%w: round %d sum %d does not match claim %d", ErrReject, v.round+1, sum, v.claim)
+	}
+	rj := v.r[v.round]
+	next, err := v.ev.Eval(evals, rj)
+	if err != nil {
+		return err
+	}
+	v.claim = next
+	v.round++
+	if v.round == v.cfg.Params.D {
+		if v.claim != v.expected {
+			v.rejected = true
+			return fmt.Errorf("%w: final check g_d(r_d)=%d ≠ C(f(r))=%d", ErrReject, v.claim, v.expected)
+		}
+	}
+	return nil
+}
+
+// Challenge returns the challenge to reveal to the prover after the most
+// recent message, i.e. r_j for the round just received. It must only be
+// called when a round has been received and the protocol is not finished.
+func (v *Verifier) Challenge() (field.Elem, error) {
+	if v.round == 0 || v.round > v.cfg.Params.D {
+		return 0, fmt.Errorf("sumcheck: no challenge pending at round %d", v.round)
+	}
+	return v.r[v.round-1], nil
+}
+
+// Done reports whether all d rounds have been received.
+func (v *Verifier) Done() bool { return v.round == v.cfg.Params.D }
+
+// Accepted reports whether the verifier finished all rounds without
+// rejecting.
+func (v *Verifier) Accepted() bool { return v.Done() && !v.rejected }
+
+// Round returns the number of messages received so far.
+func (v *Verifier) Round() int { return v.round }
+
+// SpaceWords reports the verifier's working memory in the paper's
+// accounting: the d challenges, the running claim, the expected final
+// value, and the deg+1 barycentric weights of the message evaluator.
+func (v *Verifier) SpaceWords() int {
+	return v.cfg.Params.D + 2 + v.cfg.MessageLen()
+}
+
+// ---------------------------------------------------------------------
+// Local runner
+
+// Transcript records one full conversation for inspection and accounting.
+type Transcript struct {
+	Messages   [][]field.Elem // prover → verifier, one per round
+	Challenges []field.Elem   // verifier → prover (r_1..r_{d-1} are sent; r_d never travels)
+}
+
+// CommWords counts the field elements exchanged in both directions, the
+// paper's communication measure t.
+func (tr Transcript) CommWords() int {
+	n := len(tr.Challenges)
+	for _, m := range tr.Messages {
+		n += len(m)
+	}
+	return n
+}
+
+// Run executes the complete conversation between a local prover and
+// verifier, optionally passing each message through tamper (used by the
+// soundness experiments; nil means honest delivery). It returns the
+// transcript and the verifier's verdict: a nil error means accepted.
+func Run(p *Prover, v *Verifier, tamper func(round int, evals []field.Elem) []field.Elem) (Transcript, error) {
+	var tr Transcript
+	d := v.cfg.Params.D
+	for j := 0; j < d; j++ {
+		msg, err := p.RoundMessage()
+		if err != nil {
+			return tr, err
+		}
+		if tamper != nil {
+			msg = tamper(j+1, msg)
+		}
+		tr.Messages = append(tr.Messages, msg)
+		if err := v.Receive(msg); err != nil {
+			return tr, err
+		}
+		// The prover needs r_j to proceed to round j+1; after the final
+		// round no challenge is revealed.
+		if j < d-1 {
+			rj, err := v.Challenge()
+			if err != nil {
+				return tr, err
+			}
+			tr.Challenges = append(tr.Challenges, rj)
+			if err := p.Fold(rj); err != nil {
+				return tr, err
+			}
+		}
+	}
+	return tr, nil
+}

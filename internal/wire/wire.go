@@ -1,0 +1,530 @@
+// Package wire runs the interactive proofs over TCP: the prover becomes a
+// long-lived "cloud" server that ingests the stream as the data owner
+// uploads it, and the verifier a thin client that keeps only its O(log u)
+// summaries while uploading, then drives query conversations over the
+// same connection.
+//
+// This is the deployment sketched in the paper's introduction: "the pass
+// over the input can take place incrementally as the verifier uploads
+// data to the cloud", after which each query costs the owner a
+// logarithmic-size conversation.
+//
+// Framing: every frame is [uint32 length][uint8 type][payload], payloads
+// little-endian via encoding/binary. Protocol messages (core.Msg) are
+// encoded as [uint32 nInts][uint32 nElems][ints…][elems…].
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/stream"
+)
+
+// Frame types.
+const (
+	frameHello     = 0x01 // client→server: universe size
+	frameUpdates   = 0x02 // client→server: batch of (index, delta)
+	frameEndStream = 0x03 // client→server: upload finished
+	frameQuery     = 0x04 // client→server: query kind + parameters
+	frameProver    = 0x05 // server→client: prover message
+	frameChallenge = 0x06 // client→server: verifier challenge
+	frameFinish    = 0x07 // client→server: conversation over
+	frameError     = 0x08 // server→client: error text
+)
+
+// QueryKind enumerates the queries the server answers.
+type QueryKind uint8
+
+// The wire query kinds.
+const (
+	QuerySelfJoinSize QueryKind = iota + 1
+	QueryFk
+	QueryRangeSum
+	QueryRangeQuery
+	QueryIndex
+	QueryDictionary
+	QueryPredecessor
+	QuerySuccessor
+	QueryKLargest
+	QueryHeavyHitters
+	QueryF0
+	QueryFmax
+)
+
+// QueryParams carries the per-kind parameters; unused fields are zero.
+type QueryParams struct {
+	A, B uint64  // range bounds / point / key
+	K    int64   // moment order or k-largest rank
+	Phi  float64 // heavy-hitter fraction
+}
+
+// maxFrame bounds a single frame (64 MiB) to fail fast on corruption.
+const maxFrame = 64 << 20
+
+// ErrProtocol reports a malformed or unexpected frame.
+var ErrProtocol = errors.New("wire: protocol error")
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var head [5]byte
+	binary.LittleEndian.PutUint32(head[:4], uint32(len(payload)))
+	head[4] = typ
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(head[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return head[4], payload, nil
+}
+
+func encodeMsg(m core.Msg) []byte {
+	out := make([]byte, 8+8*len(m.Ints)+8*len(m.Elems))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(m.Ints)))
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(m.Elems)))
+	off := 8
+	for _, v := range m.Ints {
+		binary.LittleEndian.PutUint64(out[off:], v)
+		off += 8
+	}
+	for _, e := range m.Elems {
+		binary.LittleEndian.PutUint64(out[off:], uint64(e))
+		off += 8
+	}
+	return out
+}
+
+func decodeMsg(b []byte) (core.Msg, error) {
+	if len(b) < 8 {
+		return core.Msg{}, fmt.Errorf("%w: short message header", ErrProtocol)
+	}
+	nInts := binary.LittleEndian.Uint32(b[0:4])
+	nElems := binary.LittleEndian.Uint32(b[4:8])
+	want := 8 + 8*int(nInts) + 8*int(nElems)
+	if len(b) != want {
+		return core.Msg{}, fmt.Errorf("%w: message body %d bytes, want %d", ErrProtocol, len(b), want)
+	}
+	var m core.Msg
+	off := 8
+	if nInts > 0 {
+		m.Ints = make([]uint64, nInts)
+		for i := range m.Ints {
+			m.Ints[i] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
+	}
+	if nElems > 0 {
+		m.Elems = make([]field.Elem, nElems)
+		for i := range m.Elems {
+			m.Elems[i] = field.Elem(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+	}
+	return m, nil
+}
+
+func encodeQuery(kind QueryKind, p QueryParams) []byte {
+	out := make([]byte, 1+8*4)
+	out[0] = byte(kind)
+	binary.LittleEndian.PutUint64(out[1:], p.A)
+	binary.LittleEndian.PutUint64(out[9:], p.B)
+	binary.LittleEndian.PutUint64(out[17:], uint64(p.K))
+	binary.LittleEndian.PutUint64(out[25:], math.Float64bits(p.Phi))
+	return out
+}
+
+func decodeQuery(b []byte) (QueryKind, QueryParams, error) {
+	if len(b) != 1+8*4 {
+		return 0, QueryParams{}, fmt.Errorf("%w: query frame %d bytes", ErrProtocol, len(b))
+	}
+	kind := QueryKind(b[0])
+	p := QueryParams{
+		A:   binary.LittleEndian.Uint64(b[1:]),
+		B:   binary.LittleEndian.Uint64(b[9:]),
+		K:   int64(binary.LittleEndian.Uint64(b[17:])),
+		Phi: math.Float64frombits(binary.LittleEndian.Uint64(b[25:])),
+	}
+	return kind, p, nil
+}
+
+// ---------------------------------------------------------------------
+// Server
+
+// Server is the cloud-side prover service. It stores the uploaded stream
+// per connection and constructs honest provers on demand.
+type Server struct {
+	F field.Field
+	// Corrupt, when non-nil, rewrites the stored stream before proving —
+	// a hook for the dishonest-cloud experiments and tests.
+	Corrupt func([]stream.Update) []stream.Update
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// Serve accepts connections until the listener closes. Each connection is
+// served on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				_ = writeFrame(conn, frameError, []byte(err.Error()))
+			}
+		}()
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	var u uint64
+	var updates []stream.Update
+	streamDone := false
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameHello:
+			if len(payload) != 8 {
+				return fmt.Errorf("%w: hello frame", ErrProtocol)
+			}
+			u = binary.LittleEndian.Uint64(payload)
+		case frameUpdates:
+			if len(payload)%16 != 0 {
+				return fmt.Errorf("%w: update batch", ErrProtocol)
+			}
+			for off := 0; off < len(payload); off += 16 {
+				updates = append(updates, stream.Update{
+					Index: binary.LittleEndian.Uint64(payload[off:]),
+					Delta: int64(binary.LittleEndian.Uint64(payload[off+8:])),
+				})
+			}
+		case frameEndStream:
+			streamDone = true
+		case frameQuery:
+			if !streamDone {
+				return fmt.Errorf("%w: query before end of stream", ErrProtocol)
+			}
+			kind, params, err := decodeQuery(payload)
+			if err != nil {
+				return err
+			}
+			ups := updates
+			if s.Corrupt != nil {
+				ups = s.Corrupt(append([]stream.Update(nil), updates...))
+			}
+			session, err := BuildProver(s.F, u, kind, params, ups)
+			if err != nil {
+				return err
+			}
+			if err := s.converse(conn, session); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+		}
+	}
+}
+
+// converse drives one query conversation from the prover side.
+func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
+	opening, err := p.Open()
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, frameProver, encodeMsg(opening)); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameFinish:
+			return nil
+		case frameChallenge:
+			ch, err := decodeMsg(payload)
+			if err != nil {
+				return err
+			}
+			resp, err := p.Step(ch)
+			if err != nil {
+				return err
+			}
+			if err := writeFrame(conn, frameProver, encodeMsg(resp)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame 0x%02x mid-conversation", ErrProtocol, typ)
+		}
+	}
+}
+
+// BuildProver constructs the prover session for a query by replaying the
+// stored stream — the honest cloud's behavior.
+func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, ups []stream.Update) (core.ProverSession, error) {
+	observe := func(obs interface{ Observe(stream.Update) error }) error {
+		for _, up := range ups {
+			if err := obs.Observe(up); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch kind {
+	case QuerySelfJoinSize, QueryFk:
+		k := 2
+		if kind == QueryFk {
+			k = int(params.K)
+		}
+		proto, err := core.NewFk(f, u, k)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		return p, observe(p)
+	case QueryRangeSum:
+		proto, err := core.NewRangeSum(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A, params.B)
+	case QueryRangeQuery:
+		proto, err := core.NewRangeQuery(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A, params.B)
+	case QueryIndex:
+		proto, err := core.NewIndex(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QueryDictionary:
+		proto, err := core.NewDictionary(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QueryPredecessor:
+		proto, err := core.NewPredecessor(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QuerySuccessor:
+		proto, err := core.NewSuccessor(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QueryKLargest:
+		proto, err := core.NewKLargest(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(int(params.K))
+	case QueryHeavyHitters:
+		proto, err := core.NewHeavyHitters(f, u)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		if err := observe(p); err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.Phi)
+	case QueryF0:
+		proto, err := core.NewF0(f, u, params.Phi)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		return p, observe(p)
+	case QueryFmax:
+		proto, err := core.NewFmax(f, u, params.Phi)
+		if err != nil {
+			return nil, err
+		}
+		p := proto.NewProver()
+		return p, observe(p)
+	default:
+		return nil, fmt.Errorf("wire: unknown query kind %d", kind)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Client
+
+// Client is the data-owner side: it uploads the stream (keeping only its
+// local verifier summaries) and drives query conversations.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a prover server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Hello announces the universe size.
+func (c *Client) Hello(u uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], u)
+	return writeFrame(c.conn, frameHello, b[:])
+}
+
+// SendUpdates uploads a batch of stream updates. The caller feeds the
+// same updates to its local verifiers — that is the single streaming pass.
+func (c *Client) SendUpdates(ups []stream.Update) error {
+	const batch = 4096
+	for len(ups) > 0 {
+		n := len(ups)
+		if n > batch {
+			n = batch
+		}
+		payload := make([]byte, 16*n)
+		for i, up := range ups[:n] {
+			binary.LittleEndian.PutUint64(payload[16*i:], up.Index)
+			binary.LittleEndian.PutUint64(payload[16*i+8:], uint64(up.Delta))
+		}
+		if err := writeFrame(c.conn, frameUpdates, payload); err != nil {
+			return err
+		}
+		ups = ups[n:]
+	}
+	return nil
+}
+
+// EndStream marks the upload complete.
+func (c *Client) EndStream() error {
+	return writeFrame(c.conn, frameEndStream, nil)
+}
+
+// Query sends the query and drives the conversation between the remote
+// prover and the local verifier session. A nil error means the verifier
+// accepted; results are read from the concrete verifier afterwards.
+func (c *Client) Query(kind QueryKind, params QueryParams, v core.VerifierSession) (core.Stats, error) {
+	var st core.Stats
+	if err := writeFrame(c.conn, frameQuery, encodeQuery(kind, params)); err != nil {
+		return st, err
+	}
+	msg, err := c.readProverMsg()
+	if err != nil {
+		return st, err
+	}
+	st.Rounds++
+	st.WordsToVerifier += msg.Words()
+	challenge, done, err := v.Begin(msg)
+	for !done {
+		if err != nil {
+			break
+		}
+		st.WordsToProver += challenge.Words()
+		if err = writeFrame(c.conn, frameChallenge, encodeMsg(challenge)); err != nil {
+			return st, err
+		}
+		msg, err = c.readProverMsg()
+		if err != nil {
+			return st, err
+		}
+		st.Rounds++
+		st.WordsToVerifier += msg.Words()
+		challenge, done, err = v.Step(msg)
+	}
+	if ferr := writeFrame(c.conn, frameFinish, nil); ferr != nil && err == nil {
+		err = ferr
+	}
+	return st, err
+}
+
+func (c *Client) readProverMsg() (core.Msg, error) {
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		return core.Msg{}, err
+	}
+	switch typ {
+	case frameProver:
+		return decodeMsg(payload)
+	case frameError:
+		return core.Msg{}, fmt.Errorf("wire: server error: %s", payload)
+	default:
+		return core.Msg{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}

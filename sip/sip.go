@@ -1,0 +1,355 @@
+// Package sip is the public API of this repository: streaming interactive
+// proofs for outsourced data, reproducing Cormode, Thaler & Yi,
+// "Verifying Computations with Streaming Interactive Proofs" (VLDB 2011).
+//
+// The model: a space-limited verifier (the data owner) and an untrusted
+// prover (the cloud) both observe a stream of (index, delta) updates to an
+// implicit vector a of length u. The verifier keeps only O(log u) words.
+// After the stream, the two run a short interactive protocol through which
+// the prover convinces the verifier of the exact answer to a query that
+// would require Ω(u) space to answer unaided. A correct prover is always
+// accepted; any cheating prover is rejected except with probability
+// ~log(u)/p (≈10⁻¹⁶ for the default field, p = 2⁶¹−1).
+//
+// Supported queries (paper section in parentheses):
+//
+//	SELF-JOIN SIZE / F2, frequency moments Fk   (§3.1, §3.2)
+//	INNER PRODUCT / join size, RANGE-SUM        (§3.2)
+//	SUB-VECTOR, RANGE QUERY, INDEX, DICTIONARY,
+//	PREDECESSOR, SUCCESSOR                      (§4)
+//	HEAVY HITTERS, k-LARGEST                    (§6.1)
+//	F0, inverse distribution, Fmax              (§6.2)
+//
+// Typical use:
+//
+//	proto, _ := sip.NewSelfJoinSize(sip.Mersenne(), 1<<20)
+//	v := proto.NewVerifier(rng)   // data owner: O(log u) space
+//	p := proto.NewProver()        // cloud: stores the data
+//	for _, up := range updates {
+//	    v.Observe(up)
+//	    p.Observe(up)
+//	}
+//	stats, err := sip.Run(p, v)   // interactive verification
+//	f2, _ := v.Result()
+//
+// For production the verifier's randomness must come from
+// sip.NewCryptoRNG(); deterministic seeds are for tests and experiments.
+package sip
+
+import (
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/stream"
+)
+
+// Field is a prime field Z_p; all protocol checks are Schwartz–Zippel
+// identity tests over it.
+type Field = field.Field
+
+// Elem is a field element.
+type Elem = field.Elem
+
+// RNG is the verifier's randomness source.
+type RNG = field.RNG
+
+// Update is one stream element: a_Index += Delta.
+type Update = stream.Update
+
+// KVPair is a key–value association for dictionary-style workloads.
+type KVPair = stream.KVPair
+
+// Stats is the cost accounting of one protocol run (rounds and words).
+type Stats = core.Stats
+
+// Msg is a protocol message (exposed for custom transports).
+type Msg = core.Msg
+
+// ProverSession and VerifierSession are the conversation state machines;
+// all protocols implement them, and custom transports drive them.
+type (
+	ProverSession   = core.ProverSession
+	VerifierSession = core.VerifierSession
+)
+
+// Entry is a reported sub-vector entry.
+type Entry = core.Entry
+
+// HeavyHitter is a verified heavy item.
+type HeavyHitter = core.HeavyHitter
+
+// Tamperer mutates prover messages (for robustness experiments).
+type Tamperer = core.Tamperer
+
+// TamperedProver wraps a prover session with a Tamperer.
+type TamperedProver = core.TamperedProver
+
+// ErrRejected is returned (wrapped) whenever a verifier refuses a proof.
+var ErrRejected = core.ErrRejected
+
+// Mersenne returns the default field Z_p with p = 2^61 - 1, the modulus
+// used throughout the paper's experiments.
+func Mersenne() Field { return field.Mersenne() }
+
+// NewField returns Z_p for a caller-chosen prime p < 2^62.
+func NewField(p uint64) (Field, error) { return field.New(p) }
+
+// FieldForUniverse returns a field with u ≤ p ≤ 2u (the paper's minimal
+// parameterization via Bertrand's postulate).
+func FieldForUniverse(u uint64) (Field, error) { return field.ForUniverse(u) }
+
+// NewSeededRNG returns a deterministic generator for reproducible
+// experiments. Do not use for real verification.
+func NewSeededRNG(seed uint64) RNG { return field.NewSplitMix64(seed) }
+
+// NewCryptoRNG returns a cryptographically secure generator; protocol
+// soundness against a real adversary requires it.
+func NewCryptoRNG() RNG { return field.CryptoRNG{} }
+
+// Run drives a complete local conversation between a prover and a
+// verifier session. A nil error means the verifier accepted.
+func Run(p ProverSession, v VerifierSession) (Stats, error) { return core.Run(p, v) }
+
+// ---------------------------------------------------------------------
+// Protocol constructors (aliases into internal/core)
+
+// Fk is the frequency-moment protocol (F2 = SELF-JOIN SIZE).
+type Fk = core.Fk
+
+// InnerProduct is the two-stream join-size protocol.
+type InnerProduct = core.InnerProduct
+
+// RangeSum is the keyed range-aggregation protocol.
+type RangeSum = core.RangeSum
+
+// SubVector is the reporting-query workhorse (RANGE QUERY et al.).
+type SubVector = core.SubVector
+
+// Index, Dictionary, Predecessor, Successor and KLargest specialize
+// SubVector per §4.2 and §6.1.
+type (
+	Index       = core.Index
+	Dictionary  = core.Dictionary
+	Predecessor = core.Predecessor
+	Successor   = core.Successor
+	KLargest    = core.KLargest
+)
+
+// HeavyHitters is the §6.1 protocol.
+type HeavyHitters = core.HeavyHitters
+
+// FrequencyBased is the §6.2 protocol family; Fmax composes it with an
+// INDEX witness.
+type (
+	FrequencyBased = core.FrequencyBased
+	Fmax           = core.Fmax
+)
+
+// NewSelfJoinSize returns the SELF-JOIN SIZE (F2) protocol over [0, u).
+func NewSelfJoinSize(f Field, u uint64) (*Fk, error) { return core.NewSelfJoinSize(f, u) }
+
+// NewFk returns the k-th frequency moment protocol over [0, u).
+func NewFk(f Field, u uint64, k int) (*Fk, error) { return core.NewFk(f, u, k) }
+
+// NewInnerProduct returns the INNER PRODUCT protocol over [0, u).
+func NewInnerProduct(f Field, u uint64) (*InnerProduct, error) { return core.NewInnerProduct(f, u) }
+
+// NewRangeSum returns the RANGE-SUM protocol over [0, u).
+func NewRangeSum(f Field, u uint64) (*RangeSum, error) { return core.NewRangeSum(f, u) }
+
+// NewSubVector returns the SUB-VECTOR protocol over [0, u).
+func NewSubVector(f Field, u uint64) (*SubVector, error) { return core.NewSubVector(f, u) }
+
+// NewRangeQuery returns the RANGE QUERY protocol over [0, u).
+func NewRangeQuery(f Field, u uint64) (*SubVector, error) { return core.NewRangeQuery(f, u) }
+
+// NewIndex returns the INDEX protocol over [0, u).
+func NewIndex(f Field, u uint64) (*Index, error) { return core.NewIndex(f, u) }
+
+// NewDictionary returns the verified key-value store protocol over [0, u).
+func NewDictionary(f Field, u uint64) (*Dictionary, error) { return core.NewDictionary(f, u) }
+
+// NewPredecessor returns the PREDECESSOR protocol over [0, u).
+func NewPredecessor(f Field, u uint64) (*Predecessor, error) { return core.NewPredecessor(f, u) }
+
+// NewSuccessor returns the SUCCESSOR protocol over [0, u).
+func NewSuccessor(f Field, u uint64) (*Successor, error) { return core.NewSuccessor(f, u) }
+
+// NewKLargest returns the k-th largest protocol over [0, u).
+func NewKLargest(f Field, u uint64) (*KLargest, error) { return core.NewKLargest(f, u) }
+
+// NewHeavyHitters returns the φ-heavy-hitters protocol over [0, u).
+func NewHeavyHitters(f Field, u uint64) (*HeavyHitters, error) { return core.NewHeavyHitters(f, u) }
+
+// NewF0 returns the distinct-count protocol over [0, u); phi = 0 selects
+// the paper's default φ = u^{-1/2}.
+func NewF0(f Field, u uint64, phi float64) (*FrequencyBased, error) { return core.NewF0(f, u, phi) }
+
+// NewInverseDistribution returns the "how many items occur exactly k
+// times" protocol over [0, u).
+func NewInverseDistribution(f Field, u uint64, phi float64, k int64) (*FrequencyBased, error) {
+	return core.NewInverseDistribution(f, u, phi, k)
+}
+
+// NewFrequencyBased returns the generic Σ h(a_i) protocol over [0, u).
+func NewFrequencyBased(f Field, u uint64, phi float64, h func(int64) Elem) (*FrequencyBased, error) {
+	return core.NewFrequencyBased(f, u, phi, h)
+}
+
+// NewFmax returns the maximum-frequency protocol over [0, u).
+func NewFmax(f Field, u uint64, phi float64) (*Fmax, error) { return core.NewFmax(f, u, phi) }
+
+// MultiFk is the §7 "Multiple Queries" direct-sum batch: several
+// frequency-moment queries verified in one conversation sharing a single
+// random point and challenge schedule.
+type MultiFk = core.MultiFk
+
+// NewMultiFk returns a batch protocol with one slot per entry of ks.
+func NewMultiFk(f Field, u uint64, ks []int) (*MultiFk, error) { return core.NewMultiFk(f, u, ks) }
+
+// ---------------------------------------------------------------------
+// One-call conveniences
+//
+// These run the full lifecycle (stream → conversation) locally. They are
+// the quickest way to use the library when prover and verifier live in
+// the same process; for genuinely outsourced data use the session API
+// with the wire transport in cmd/sipserver and cmd/sipclient.
+
+// VerifySelfJoinSize streams updates into both parties and verifies F2.
+func VerifySelfJoinSize(f Field, u uint64, updates []Update, rng RNG) (Elem, Stats, error) {
+	proto, err := NewSelfJoinSize(f, u)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	v := proto.NewVerifier(rng)
+	p := proto.NewProver()
+	for _, up := range updates {
+		if err := v.Observe(up); err != nil {
+			return 0, Stats{}, err
+		}
+		if err := p.Observe(up); err != nil {
+			return 0, Stats{}, err
+		}
+	}
+	stats, err := Run(p, v)
+	if err != nil {
+		return 0, stats, err
+	}
+	res, err := v.Result()
+	return res, stats, err
+}
+
+// VerifyRangeSum streams key-value updates and verifies the sum over
+// [qL, qR], returned as a signed integer.
+func VerifyRangeSum(f Field, u uint64, updates []Update, qL, qR uint64, rng RNG) (int64, Stats, error) {
+	proto, err := NewRangeSum(f, u)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	v := proto.NewVerifier(rng)
+	p := proto.NewProver()
+	for _, up := range updates {
+		if err := v.Observe(up); err != nil {
+			return 0, Stats{}, err
+		}
+		if err := p.Observe(up); err != nil {
+			return 0, Stats{}, err
+		}
+	}
+	if err := v.SetQuery(qL, qR); err != nil {
+		return 0, Stats{}, err
+	}
+	if err := p.SetQuery(qL, qR); err != nil {
+		return 0, Stats{}, err
+	}
+	stats, err := Run(p, v)
+	if err != nil {
+		return 0, stats, err
+	}
+	res, err := v.SignedResult()
+	return res, stats, err
+}
+
+// VerifyRangeQuery streams updates and verifies the nonzero entries in
+// [qL, qR].
+func VerifyRangeQuery(f Field, u uint64, updates []Update, qL, qR uint64, rng RNG) ([]Entry, Stats, error) {
+	proto, err := NewRangeQuery(f, u)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	v := proto.NewVerifier(rng)
+	p := proto.NewProver()
+	for _, up := range updates {
+		if err := v.Observe(up); err != nil {
+			return nil, Stats{}, err
+		}
+		if err := p.Observe(up); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	if err := v.SetQuery(qL, qR); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := p.SetQuery(qL, qR); err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := Run(p, v)
+	if err != nil {
+		return nil, stats, err
+	}
+	entries, err := v.Result()
+	return entries, stats, err
+}
+
+// VerifyHeavyHitters streams updates and verifies the φ-heavy hitters.
+func VerifyHeavyHitters(f Field, u uint64, updates []Update, phi float64, rng RNG) ([]HeavyHitter, Stats, error) {
+	proto, err := NewHeavyHitters(f, u)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	v := proto.NewVerifier(rng)
+	p := proto.NewProver()
+	for _, up := range updates {
+		if err := v.Observe(up); err != nil {
+			return nil, Stats{}, err
+		}
+		if err := p.Observe(up); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	if err := v.SetQuery(phi); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := p.SetQuery(phi); err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := Run(p, v)
+	if err != nil {
+		return nil, stats, err
+	}
+	hh, _, err := v.Result()
+	return hh, stats, err
+}
+
+// VerifyF0 streams updates and verifies the number of distinct items.
+func VerifyF0(f Field, u uint64, updates []Update, rng RNG) (Elem, Stats, error) {
+	proto, err := NewF0(f, u, 0)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	v := proto.NewVerifier(rng)
+	p := proto.NewProver()
+	for _, up := range updates {
+		if err := v.Observe(up); err != nil {
+			return 0, Stats{}, err
+		}
+		if err := p.Observe(up); err != nil {
+			return 0, Stats{}, err
+		}
+	}
+	stats, err := Run(p, v)
+	if err != nil {
+		return 0, stats, err
+	}
+	res, err := v.Result()
+	return res, stats, err
+}
