@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/ccm"
@@ -161,7 +162,7 @@ func BenchmarkFig2cSpaceComm(b *testing.B) {
 			var row harness.F2Row
 			var err error
 			for i := 0; i < b.N; i++ {
-				row, err = harness.F2MultiRound(f61, u, 1000, 4)
+				row, err = harness.F2MultiRound(f61, u, 1000, 4, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -176,7 +177,7 @@ func BenchmarkFig2cSpaceComm(b *testing.B) {
 			var row harness.F2Row
 			var err error
 			for i := 0; i < b.N; i++ {
-				row, err = harness.F2OneRound(f61, u, 1000, 4)
+				row, err = harness.F2OneRound(f61, u, 1000, 4, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -238,7 +239,7 @@ func BenchmarkFig3bSpaceComm(b *testing.B) {
 			var row harness.SubVectorRow
 			var err error
 			for i := 0; i < b.N; i++ {
-				row, err = harness.SubVectorRun(f61, u, 1000, 1000, 7)
+				row, err = harness.SubVectorRun(f61, u, 1000, 1000, 7, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -246,6 +247,125 @@ func BenchmarkFig3bSpaceComm(b *testing.B) {
 			b.ReportMetric(float64(row.SpaceBytes), "space-B")
 			b.ReportMetric(float64(row.CommBytes), "comm-B")
 			b.ReportMetric(float64(row.CommBytes-16*row.K), "overhead-B")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parallel prover engine: multi-round F2 proof generation with the table
+// scans fanned out across a worker pool. The timed region is exactly the
+// prover's work (claimed total + every round message + every fold) driven
+// by a fixed challenge schedule, so serial and parallel runs do identical
+// field work and emit bit-identical transcripts; only wall-clock changes.
+// Expected: ≥2× speedup at log u = 18 with 4+ workers on 4+ cores.
+
+// proveF2 runs the complete prover side for one conversation and returns
+// the transcript words (for cross-checking serial vs parallel).
+func proveF2(b *testing.B, cfg sumcheck.Config, table []field.Elem, challenges []field.Elem) []field.Elem {
+	b.Helper()
+	p, err := sumcheck.NewProver(cfg, table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := []field.Elem{p.Total()}
+	for j := 0; j < cfg.Rounds(); j++ {
+		msg, err := p.RoundMessage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, msg...)
+		if j < cfg.Rounds()-1 {
+			if err := p.Fold(challenges[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkProverF2Workers(b *testing.B) {
+	const logu = 18
+	params, err := lde.NewParams(2, logu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ups := mustUpdates(params.U, 15)
+	a, err := stream.Apply(ups, params.U)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := make([]field.Elem, params.U)
+	for i, v := range a {
+		table[i] = f61.FromInt64(v)
+	}
+	challenges := f61.RandVec(field.NewSplitMix64(16), params.D)
+
+	serialCfg := sumcheck.Config{Field: f61, Params: params, Combiner: sumcheck.Power{K: 2}}
+	want := proveF2(b, serialCfg, table, challenges)
+
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		cfg := serialCfg
+		cfg.Workers = workers
+		// workers=1 must be bit-identical to the serial (Workers=0) path;
+		// so must every other count.
+		got := proveF2(b, cfg, table, challenges)
+		if len(got) != len(want) {
+			b.Fatalf("workers=%d: transcript has %d words, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				b.Fatalf("workers=%d: transcript word %d = %d, serial = %d", workers, i, got[i], want[i])
+			}
+		}
+		b.Run(fmt.Sprintf("logu=%d/workers=%d", logu, workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = proveF2(b, cfg, table, challenges)
+			}
+			b.ReportMetric(float64(params.U)*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
+}
+
+// BenchmarkProverSubVectorWorkers: the §4 reporting prover (hash-tree
+// levels) under the same worker sweep.
+func BenchmarkProverSubVectorWorkers(b *testing.B) {
+	const logu = 18
+	u := uint64(1) << logu
+	ups := mustUpdates(u, 17)
+	qL := (u - 1000) / 2
+	qR := qL + 999
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("logu=%d/workers=%d", logu, workers), func(b *testing.B) {
+			proto, err := core.NewSubVector(f61, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				v := proto.NewVerifier(field.NewSplitMix64(18))
+				p := proto.NewProver()
+				for _, up := range ups {
+					_ = v.Observe(up)
+					_ = p.Observe(up)
+				}
+				if err := v.SetQuery(qL, qR); err != nil {
+					b.Fatal(err)
+				}
+				if err := p.SetQuery(qL, qR); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := core.Run(p, v); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }
@@ -361,7 +481,7 @@ func BenchmarkFreqBasedF0(b *testing.B) {
 			var row harness.F0Row
 			var err error
 			for i := 0; i < b.N; i++ {
-				row, err = harness.F0Run(f61, u, 12)
+				row, err = harness.F0Run(f61, u, 12, 0)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -19,12 +19,17 @@
 // -maxlogu bounds the sweeps (default 20 multi-round, 16 one-round; the
 // one-round prover is Θ(u^{3/2}) and dominates quickly, exactly as in
 // Figure 2(b)).
+//
+// -workers sets the prover's worker-pool size (default: all cores; 1 runs
+// the serial prover). Transcripts, space, and communication are identical
+// for every value — only prover wall-clock time changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/field"
 	"repro/internal/gkrbench"
@@ -37,6 +42,7 @@ func main() {
 	maxLogUOne := flag.Int("maxlogu1", 16, "largest log2(u) for one-round sweeps (prover is Θ(u^{3/2}))")
 	span := flag.Uint64("span", 1000, "SUB-VECTOR query span (the paper uses 1000)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "prover worker-pool size (1 = serial; transcripts are identical for every value)")
 	flag.Parse()
 
 	f := field.Mersenne()
@@ -52,16 +58,16 @@ func main() {
 		}
 	}
 
-	run("fig2a", func(f field.Field) error { return fig2a(f, *maxLogU, *maxLogUOne, *seed) })
-	run("fig2b", func(f field.Field) error { return fig2b(f, *maxLogU, *maxLogUOne, *seed) })
-	run("fig2c", func(f field.Field) error { return fig2c(f, *maxLogU, *maxLogUOne, *seed) })
-	run("fig3a", func(f field.Field) error { return fig3(f, *maxLogU, *span, *seed, true) })
-	run("fig3b", func(f field.Field) error { return fig3(f, *maxLogU, *span, *seed, false) })
+	run("fig2a", func(f field.Field) error { return fig2a(f, *maxLogU, *maxLogUOne, *seed, *workers) })
+	run("fig2b", func(f field.Field) error { return fig2b(f, *maxLogU, *maxLogUOne, *seed, *workers) })
+	run("fig2c", func(f field.Field) error { return fig2c(f, *maxLogU, *maxLogUOne, *seed, *workers) })
+	run("fig3a", func(f field.Field) error { return fig3(f, *maxLogU, *span, *seed, *workers, true) })
+	run("fig3b", func(f field.Field) error { return fig3(f, *maxLogU, *span, *seed, *workers, false) })
 	run("tamper", func(f field.Field) error { return tamper(f, *seed) })
 	run("branching", func(f field.Field) error { return branching(f, *seed) })
 	run("gkr", func(f field.Field) error { return gkr(f, *seed) })
-	run("freq", func(f field.Field) error { return freq(f, *seed) })
-	run("ipv6", func(f field.Field) error { return ipv6(f, *seed) })
+	run("freq", func(f field.Field) error { return freq(f, *seed, *workers) })
+	run("ipv6", func(f field.Field) error { return ipv6(f, *seed, *workers) })
 }
 
 func logRange(lo, hi int) []int {
@@ -73,18 +79,18 @@ func logRange(lo, hi int) []int {
 }
 
 // fig2a: verifier stream-processing time vs input size n (Figure 2(a)).
-func fig2a(f field.Field, maxMulti, maxOne int, seed uint64) error {
+func fig2a(f field.Field, maxMulti, maxOne int, seed uint64, workers int) error {
 	fmt.Println("Figure 2(a): verifier's time to process the stream (u = n)")
 	fmt.Printf("%-12s %12s %14s %16s %14s\n", "protocol", "n", "stream-time", "updates/sec", "check-time")
 	for _, lg := range logRange(10, maxMulti) {
-		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed)
+		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-12s %12d %14s %16.0f %14s\n", row.Protocol, row.N, row.StreamTime, row.UpdatesPerSec, row.CheckTime)
 	}
 	for _, lg := range logRange(10, maxOne) {
-		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed)
+		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed, workers)
 		if err != nil {
 			return err
 		}
@@ -94,18 +100,18 @@ func fig2a(f field.Field, maxMulti, maxOne int, seed uint64) error {
 }
 
 // fig2b: prover's proof-generation time vs universe size (Figure 2(b)).
-func fig2b(f field.Field, maxMulti, maxOne int, seed uint64) error {
+func fig2b(f field.Field, maxMulti, maxOne int, seed uint64, workers int) error {
 	fmt.Println("Figure 2(b): prover's time to generate the proof")
 	fmt.Printf("%-12s %12s %14s %16s\n", "protocol", "u", "prove-time", "updates/sec")
 	for _, lg := range logRange(10, maxMulti) {
-		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed)
+		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-12s %12d %14s %16.0f\n", row.Protocol, row.U, row.ProveTime, float64(row.N)/row.ProveTime.Seconds())
 	}
 	for _, lg := range logRange(10, maxOne) {
-		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed)
+		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed, workers)
 		if err != nil {
 			return err
 		}
@@ -115,18 +121,18 @@ func fig2b(f field.Field, maxMulti, maxOne int, seed uint64) error {
 }
 
 // fig2c: verifier space and communication vs universe size (Figure 2(c)).
-func fig2c(f field.Field, maxMulti, maxOne int, seed uint64) error {
+func fig2c(f field.Field, maxMulti, maxOne int, seed uint64, workers int) error {
 	fmt.Println("Figure 2(c): size of communication and working space")
 	fmt.Printf("%-12s %12s %14s %14s\n", "protocol", "u", "space-bytes", "comm-bytes")
 	for _, lg := range logRange(10, maxMulti) {
-		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed)
+		row, err := harness.F2MultiRound(f, 1<<lg, 1000, seed, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-12s %12d %14d %14d\n", row.Protocol, row.U, row.SpaceBytes, row.CommBytes)
 	}
 	for _, lg := range logRange(10, maxOne) {
-		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed)
+		row, err := harness.F2OneRound(f, 1<<lg, 1000, seed, workers)
 		if err != nil {
 			return err
 		}
@@ -136,7 +142,7 @@ func fig2c(f field.Field, maxMulti, maxOne int, seed uint64) error {
 }
 
 // fig3: SUB-VECTOR times (a) or space/communication (b) — Figure 3.
-func fig3(f field.Field, maxLogU int, span, seed uint64, times bool) error {
+func fig3(f field.Field, maxLogU int, span, seed uint64, workers int, times bool) error {
 	if times {
 		fmt.Printf("Figure 3(a): SUB-VECTOR verifier and prover time (span %d)\n", span)
 		fmt.Printf("%12s %14s %14s %14s\n", "u", "stream-time", "prove-time", "check-time")
@@ -145,7 +151,7 @@ func fig3(f field.Field, maxLogU int, span, seed uint64, times bool) error {
 		fmt.Printf("%12s %8s %14s %14s %18s\n", "u", "k", "space-bytes", "comm-bytes", "comm-minus-answer")
 	}
 	for _, lg := range logRange(10, maxLogU) {
-		row, err := harness.SubVectorRun(f, 1<<lg, span, 1000, seed)
+		row, err := harness.SubVectorRun(f, 1<<lg, span, 1000, seed, workers)
 		if err != nil {
 			return err
 		}
@@ -215,11 +221,11 @@ func gkr(f field.Field, seed uint64) error {
 }
 
 // freq: §6.2 frequency-based functions.
-func freq(f field.Field, seed uint64) error {
+func freq(f field.Field, seed uint64, workers int) error {
 	fmt.Println("Frequency-based functions (§6.2): F0 at φ = u^{-1/2}")
 	fmt.Printf("%10s %10s %12s %14s %14s\n", "u", "F0", "comm-words", "prove-time", "check-time")
 	for _, lg := range []int{8, 10, 12} {
-		row, err := harness.F0Run(f, uint64(1)<<lg, seed)
+		row, err := harness.F0Run(f, uint64(1)<<lg, seed, workers)
 		if err != nil {
 			return err
 		}
@@ -229,8 +235,8 @@ func freq(f field.Field, seed uint64) error {
 }
 
 // ipv6: §5 closing extrapolation to 1TB of IPv6 addresses.
-func ipv6(f field.Field, seed uint64) error {
-	row, err := harness.F2MultiRound(f, 1<<20, 1000, seed)
+func ipv6(f field.Field, seed uint64, workers int) error {
+	row, err := harness.F2MultiRound(f, 1<<20, 1000, seed, workers)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/field"
@@ -54,8 +55,10 @@ func main() {
 	check(err)
 	hhv := hhproto.NewVerifier(rng)
 
+	// The F2 summary is a plain LDE evaluation, so the whole batch can be
+	// folded in through a worker pool; the tree-based summaries stream.
+	check(f2v.ObserveBatch(ups, runtime.NumCPU()))
 	for _, up := range ups {
-		check(f2v.Observe(up))
 		check(rqv.Observe(up))
 		check(hhv.Observe(up))
 	}

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"runtime"
 
 	"repro/internal/field"
 	"repro/internal/stream"
@@ -24,9 +26,10 @@ import (
 func main() {
 	listen := flag.String("listen", ":7408", "address to listen on")
 	cheatDrop := flag.Int("cheat-drop", 0, "misbehave: drop this many trailing updates before proving")
+	workers := flag.Int("workers", runtime.NumCPU(), "prover worker-pool size (1 = serial)")
 	flag.Parse()
 
-	srv := &wire.Server{F: field.Mersenne()}
+	srv := &wire.Server{F: field.Mersenne(), Workers: *workers}
 	if *cheatDrop > 0 {
 		n := *cheatDrop
 		srv.Corrupt = func(ups []stream.Update) []stream.Update {
@@ -42,7 +45,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("sipserver (p = 2^61-1) listening on %s", ln.Addr())
-	if err := srv.Serve(ln); err != nil {
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, wire.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
 	}
 }

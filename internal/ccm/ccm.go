@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/lde"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 )
 
@@ -36,6 +37,13 @@ type Protocol struct {
 	F   field.Field
 	Ell int    // ℓ = √u
 	U   uint64 // ℓ²
+
+	// Workers sets the prover's parallel fan-out over the 2ℓ-1 independent
+	// evaluation points of Prove (0 serial, n < 0 runtime.NumCPU()). The
+	// proof is bit-identical for every value. This matters more here than
+	// anywhere else: the one-round prover is the Θ(u^{3/2}) bottleneck of
+	// Figure 2(b).
+	Workers int
 }
 
 // New returns the protocol for a universe of size ≥ u, rounding ℓ up.
@@ -164,33 +172,39 @@ func (pr *Prover) Total() field.Elem {
 }
 
 // Prove produces the single-message proof: the evaluations
-// g(0..2ℓ-2) with g(c) = Σ_{x₂} f_a(c, x₂)². Θ(u^{3/2}) field operations.
+// g(0..2ℓ-2) with g(c) = Σ_{x₂} f_a(c, x₂)². Θ(u^{3/2}) field operations;
+// the 2ℓ-1 evaluation points are independent, so they fan out across
+// Protocol.Workers goroutines (each point is O(u) work, hence grain 1).
 func (pr *Prover) Prove() []field.Elem {
 	f := pr.proto.F
 	ell := pr.proto.Ell
 	w := lde.BasisWeights(f, ell)
-	proof := make([]field.Elem, 2*ell-1)
-	for c := 0; c < 2*ell-1; c++ {
-		var chi []field.Elem
-		if c >= ell {
-			chi = lde.AllChi(f, w, f.Reduce(uint64(c)))
-		}
-		var sum field.Elem
-		for x2 := 0; x2 < ell; x2++ {
-			row := pr.table[x2*ell : (x2+1)*ell]
-			var val field.Elem
-			if c < ell {
-				val = row[c]
-			} else {
-				for k, ck := range chi {
-					if row[k] != 0 {
-						val = f.Add(val, f.Mul(ck, row[k]))
-					}
-				}
-			}
-			sum = f.Add(sum, f.Mul(val, val))
-		}
-		proof[c] = sum
+	// Batched χ tables for the ℓ-1 beyond-node evaluation points ℓ..2ℓ-2.
+	xs := make([]field.Elem, ell-1)
+	for i := range xs {
+		xs[i] = f.Reduce(uint64(ell + i))
 	}
+	chis := lde.ChiTables(f, w, xs)
+	proof := make([]field.Elem, 2*ell-1)
+	// The ℓ node points are direct reads — O(u) in one cache-friendly pass;
+	// only the ℓ-1 beyond-node points carry the Θ(u) DotSlices each, so the
+	// pool is reserved for them (uniform O(u) work per index, grain 1).
+	for x2 := 0; x2 < ell; x2++ {
+		row := pr.table[x2*ell : (x2+1)*ell]
+		for c, v := range row {
+			proof[c] = f.Add(proof[c], f.Mul(v, v))
+		}
+	}
+	parallel.ForGrain(parallel.Workers(pr.proto.Workers), ell-1, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			chi := chis[i]
+			var sum field.Elem
+			for x2 := 0; x2 < ell; x2++ {
+				val := f.DotSlices(chi, pr.table[x2*ell:(x2+1)*ell])
+				sum = f.Add(sum, f.Mul(val, val))
+			}
+			proof[ell+i] = sum
+		}
+	})
 	return proof
 }

@@ -161,3 +161,52 @@ func TestObserveValidation(t *testing.T) {
 		t.Error("prover accepted out-of-universe index")
 	}
 }
+
+// TestProveWorkersIdentical: the parallel one-round prover must emit the
+// bit-identical proof of the serial prover and still verify.
+func TestProveWorkersIdentical(t *testing.T) {
+	f := field.Mersenne()
+	proto, err := New(f, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := stream.UniformDeltas(proto.U, 100, field.NewSplitMix64(71))
+	serial := proto.NewProver()
+	for _, up := range ups {
+		if err := serial.Observe(up.Index, up.Delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := serial.Prove()
+	for _, workers := range []int{1, 3, -1} {
+		par, err := New(f, 1<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.Workers = workers
+		p := par.NewProver()
+		for _, up := range ups {
+			if err := p.Observe(up.Index, up.Delta); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := p.Prove()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: proof has %d words, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: proof word %d = %d, serial = %d", workers, i, got[i], want[i])
+			}
+		}
+		v := par.NewVerifier(field.NewSplitMix64(72))
+		for _, up := range ups {
+			if err := v.Observe(up.Index, up.Delta); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := v.Verify(got); err != nil {
+			t.Fatalf("workers=%d: parallel proof rejected: %v", workers, err)
+		}
+	}
+}

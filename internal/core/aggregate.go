@@ -18,6 +18,13 @@ type Fk struct {
 	F      field.Field
 	Params lde.Params
 	K      int
+
+	// Workers sets the prover's parallel fan-out (sumcheck.Config.Workers
+	// semantics: 0 serial, n > 0 that many goroutines, n < 0
+	// runtime.NumCPU()). Set it before the prover opens the conversation.
+	// Transcripts are bit-identical for every value; the verifier is
+	// unaffected.
+	Workers int
 }
 
 // NewFk returns the Fk protocol over a universe of size ≥ u with the
@@ -50,7 +57,7 @@ func NewSelfJoinSize(f field.Field, u uint64) (*Fk, error) {
 }
 
 func (p *Fk) scConfig() sumcheck.Config {
-	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Power{K: p.K}}
+	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Power{K: p.K}, Workers: p.Workers}
 }
 
 // ---------------------------------------------------------------------
@@ -76,6 +83,20 @@ func (p *Fk) NewVerifier(rng field.RNG) *FkVerifier {
 // Observe folds one stream update into the running LDE evaluation.
 func (v *FkVerifier) Observe(up stream.Update) error {
 	return v.ev.Update(up.Index, up.Delta)
+}
+
+// ObserveBatch folds a batch of updates through a worker pool
+// (lde.Evaluator.BulkUpdate). The state afterwards is bit-identical to
+// observing the batch one update at a time; use it when the owner has
+// updates in hand (e.g. while uploading file chunks) rather than one by
+// one. workers follows the parallel.Workers convention.
+func (v *FkVerifier) ObserveBatch(ups []stream.Update, workers int) error {
+	idx := make([]uint64, len(ups))
+	deltas := make([]int64, len(ups))
+	for i, up := range ups {
+		idx[i], deltas[i] = up.Index, up.Delta
+	}
+	return v.ev.BulkUpdate(idx, deltas, workers)
 }
 
 // Begin consumes the opening message [claim, g_1(0..deg)].
@@ -213,6 +234,9 @@ func (pr *FkProver) Step(challenge Msg) (Msg, error) {
 type InnerProduct struct {
 	F      field.Field
 	Params lde.Params
+
+	// Workers is the prover's parallel fan-out; see Fk.Workers.
+	Workers int
 }
 
 // NewInnerProduct returns the protocol for universes of size ≥ u (ℓ=2).
@@ -225,7 +249,7 @@ func NewInnerProduct(f field.Field, u uint64) (*InnerProduct, error) {
 }
 
 func (p *InnerProduct) scConfig() sumcheck.Config {
-	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Product{}}
+	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Product{}, Workers: p.Workers}
 }
 
 // InnerProductVerifier evaluates both LDEs at the same secret point.
@@ -382,6 +406,9 @@ func (pr *InnerProductProver) Step(challenge Msg) (Msg, error) {
 type RangeSum struct {
 	F      field.Field
 	Params lde.Params
+
+	// Workers is the prover's parallel fan-out; see Fk.Workers.
+	Workers int
 }
 
 // NewRangeSum returns the protocol for universes of size ≥ u. The
@@ -395,7 +422,7 @@ func NewRangeSum(f field.Field, u uint64) (*RangeSum, error) {
 }
 
 func (p *RangeSum) scConfig() sumcheck.Config {
-	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Product{}}
+	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Product{}, Workers: p.Workers}
 }
 
 // RangeSumVerifier streams f_a(r); the query is set after the stream.

@@ -240,3 +240,10 @@ func (pr *FmaxProver) Step(challenge Msg) (Msg, error) {
 	}
 	return pr.fb.Step(challenge)
 }
+
+// SetWorkers sets the prover's parallel fan-out of both composed
+// sub-protocols; see Fk.Workers. Call before NewProver.
+func (p *Fmax) SetWorkers(n int) {
+	p.SV.Workers = n
+	p.FB.Workers = n
+}

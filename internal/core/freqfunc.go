@@ -34,6 +34,10 @@ type FrequencyBased struct {
 	LdeParams  lde.Params
 	Phi        float64
 	H          func(count int64) field.Elem
+
+	// Workers is the prover's parallel fan-out, applied to both phases
+	// (hash-tree levels and the residual sum-check); see Fk.Workers.
+	Workers int
 }
 
 // maxInterpolationDegree caps the threshold-derived degree of h̃ so a
@@ -289,7 +293,7 @@ type FrequencyBasedProver struct {
 
 // NewProver returns a prover ready to observe the stream.
 func (p *FrequencyBased) NewProver() *FrequencyBasedProver {
-	hhProto := &HeavyHitters{F: p.F, Params: p.TreeParams}
+	hhProto := &HeavyHitters{F: p.F, Params: p.TreeParams, Workers: p.Workers}
 	return &FrequencyBasedProver{proto: p, hh: hhProto.NewProver()}
 }
 
@@ -378,6 +382,7 @@ func (pr *FrequencyBasedProver) openSumcheck() (Msg, error) {
 		Field:    f,
 		Params:   pr.proto.LdeParams,
 		Combiner: sumcheck.PolyFn{H: htilde, MinDegree: int(threshold) - 1},
+		Workers:  pr.proto.Workers,
 	}
 	sc, err := sumcheck.NewProver(cfg, table)
 	if err != nil {

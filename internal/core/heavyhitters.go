@@ -24,6 +24,10 @@ import (
 type HeavyHitters struct {
 	F      field.Field
 	Params hashtree.Params
+
+	// Workers is the prover's parallel fan-out for building each hash-tree
+	// level; see SubVector.Workers.
+	Workers int
 }
 
 // NewHeavyHitters returns the protocol for universes of size ≥ u.
@@ -311,6 +315,7 @@ func (pr *HeavyHittersProver) Open() (Msg, error) {
 	if err != nil {
 		return Msg{}, err
 	}
+	tree.Workers = pr.proto.Workers
 	pr.tree = tree
 	pr.threshold = Threshold(pr.phi, stream.SumDeltas(pr.updates))
 	return pr.levelMsg(0)

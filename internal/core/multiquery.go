@@ -29,6 +29,10 @@ type MultiFk struct {
 	F      field.Field
 	Params lde.Params
 	Ks     []int // moment order per query slot
+
+	// Workers is the prover's parallel fan-out, shared by every slot; see
+	// Fk.Workers.
+	Workers int
 }
 
 // NewMultiFk returns a batch protocol with one slot per entry of ks, all
@@ -54,7 +58,7 @@ func NewMultiFk(f field.Field, u uint64, ks []int) (*MultiFk, error) {
 }
 
 func (p *MultiFk) cfg(slot int) sumcheck.Config {
-	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Power{K: p.Ks[slot]}}
+	return sumcheck.Config{Field: p.F, Params: p.Params, Combiner: sumcheck.Power{K: p.Ks[slot]}, Workers: p.Workers}
 }
 
 // batchLen is the number of field elements all slots' round messages

@@ -602,3 +602,22 @@ func (pr *KLargestProver) Open() (Msg, error) {
 
 // Step delegates to the embedded sub-vector conversation.
 func (pr *KLargestProver) Step(challenge Msg) (Msg, error) { return pr.sv.Step(challenge) }
+
+// ---------------------------------------------------------------------
+// Parallel proving
+
+// SetWorkers sets the prover's parallel fan-out of the underlying
+// SUB-VECTOR protocol; see SubVector.Workers.
+func (p *Index) SetWorkers(n int) { p.sv.Workers = n }
+
+// SetWorkers sets the prover's parallel fan-out; see SubVector.Workers.
+func (p *Dictionary) SetWorkers(n int) { p.sv.Workers = n }
+
+// SetWorkers sets the prover's parallel fan-out; see SubVector.Workers.
+func (p *Predecessor) SetWorkers(n int) { p.sv.Workers = n }
+
+// SetWorkers sets the prover's parallel fan-out; see SubVector.Workers.
+func (p *Successor) SetWorkers(n int) { p.sv.Workers = n }
+
+// SetWorkers sets the prover's parallel fan-out; see SubVector.Workers.
+func (p *KLargest) SetWorkers(n int) { p.sv.Workers = n }

@@ -19,6 +19,11 @@ import (
 type SubVector struct {
 	F      field.Field
 	Params hashtree.Params
+
+	// Workers is the prover's parallel fan-out: each hash-tree level built
+	// during the conversation is hashed by that many goroutines (0 serial,
+	// n < 0 runtime.NumCPU()). Hashes are bit-identical for every value.
+	Workers int
 }
 
 // NewSubVector returns the protocol for universes of size ≥ u.
@@ -302,6 +307,7 @@ func (pr *SubVectorProver) Open() (Msg, error) {
 	if err != nil {
 		return Msg{}, err
 	}
+	tree.Workers = pr.proto.Workers
 	pr.tree = tree
 	var msg Msg
 	for _, leaf := range tree.LeavesInRange(pr.qL, pr.qR) {

@@ -84,12 +84,15 @@ type F2Row struct {
 }
 
 // F2MultiRound runs the §3 protocol on the paper's workload (u = n,
-// per-item counts uniform in [0, maxDelta]).
-func F2MultiRound(f field.Field, u uint64, maxDelta int64, seed uint64) (F2Row, error) {
+// per-item counts uniform in [0, maxDelta]). workers is the prover's
+// parallel fan-out (0 serial, n < 0 all cores); the transcript and the
+// row's space/communication columns are identical for every value.
+func F2MultiRound(f field.Field, u uint64, maxDelta int64, seed uint64, workers int) (F2Row, error) {
 	proto, err := core.NewSelfJoinSize(f, u)
 	if err != nil {
 		return F2Row{}, err
 	}
+	proto.Workers = workers
 	gen := field.NewSplitMix64(seed)
 	ups := stream.UniformDeltas(proto.Params.U, maxDelta, gen)
 	v := proto.NewVerifier(field.NewSplitMix64(seed + 1))
@@ -126,12 +129,14 @@ func F2MultiRound(f field.Field, u uint64, maxDelta int64, seed uint64) (F2Row, 
 	return row, err
 }
 
-// F2OneRound runs the CCM baseline on the same workload.
-func F2OneRound(f field.Field, u uint64, maxDelta int64, seed uint64) (F2Row, error) {
+// F2OneRound runs the CCM baseline on the same workload. workers is the
+// prover's parallel fan-out over the proof's evaluation points.
+func F2OneRound(f field.Field, u uint64, maxDelta int64, seed uint64, workers int) (F2Row, error) {
 	proto, err := ccm.New(f, u)
 	if err != nil {
 		return F2Row{}, err
 	}
+	proto.Workers = workers
 	gen := field.NewSplitMix64(seed)
 	ups := stream.UniformDeltas(proto.U, maxDelta, gen)
 	v := proto.NewVerifier(field.NewSplitMix64(seed + 1))
@@ -187,12 +192,13 @@ type SubVectorRow struct {
 }
 
 // SubVectorRun runs the §4 protocol with a centered query of the given
-// span on the paper's workload.
-func SubVectorRun(f field.Field, u uint64, span uint64, maxDelta int64, seed uint64) (SubVectorRow, error) {
+// span on the paper's workload. workers is the prover's parallel fan-out.
+func SubVectorRun(f field.Field, u uint64, span uint64, maxDelta int64, seed uint64, workers int) (SubVectorRow, error) {
 	proto, err := core.NewSubVector(f, u)
 	if err != nil {
 		return SubVectorRow{}, err
 	}
+	proto.Workers = workers
 	if span > proto.Params.U {
 		span = proto.Params.U
 	}
@@ -480,11 +486,13 @@ type F0Row struct {
 
 // F0Run verifies the distinct count of a Zipf stream at the default
 // φ = u^{-1/2} and reports the (log u, √u·log u) costs of Theorem 6.
-func F0Run(f field.Field, u uint64, seed uint64) (F0Row, error) {
+// workers is the prover's parallel fan-out.
+func F0Run(f field.Field, u uint64, seed uint64, workers int) (F0Row, error) {
 	proto, err := core.NewF0(f, u, 0)
 	if err != nil {
 		return F0Row{}, err
 	}
+	proto.Workers = workers
 	gen := field.NewSplitMix64(seed)
 	ups, err := stream.Zipf(proto.TreeParams.U, int(4*proto.TreeParams.U), 1.2, gen)
 	if err != nil {

@@ -9,7 +9,7 @@ import (
 var f61 = field.Mersenne()
 
 func TestF2MultiRoundRow(t *testing.T) {
-	row, err := F2MultiRound(f61, 1<<10, 1000, 42)
+	row, err := F2MultiRound(f61, 1<<10, 1000, 42, 0)
 	if err != nil {
 		t.Fatalf("row errored: %v", err)
 	}
@@ -32,7 +32,7 @@ func TestF2MultiRoundRow(t *testing.T) {
 }
 
 func TestF2OneRoundRow(t *testing.T) {
-	row, err := F2OneRound(f61, 1<<10, 1000, 43)
+	row, err := F2OneRound(f61, 1<<10, 1000, 43, 0)
 	if err != nil {
 		t.Fatalf("row errored: %v", err)
 	}
@@ -53,19 +53,19 @@ func TestF2OneRoundRow(t *testing.T) {
 // multi-round prover stays near-linear, and the one-round verifier keeps
 // √u space while the multi-round verifier keeps O(log u).
 func TestFig2Shapes(t *testing.T) {
-	mr1, err := F2MultiRound(f61, 1<<10, 1000, 44)
+	mr1, err := F2MultiRound(f61, 1<<10, 1000, 44, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mr2, err := F2MultiRound(f61, 1<<14, 1000, 44)
+	mr2, err := F2MultiRound(f61, 1<<14, 1000, 44, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	or1, err := F2OneRound(f61, 1<<10, 1000, 44)
+	or1, err := F2OneRound(f61, 1<<10, 1000, 44, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	or2, err := F2OneRound(f61, 1<<14, 1000, 44)
+	or2, err := F2OneRound(f61, 1<<14, 1000, 44, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestFig2Shapes(t *testing.T) {
 }
 
 func TestSubVectorRow(t *testing.T) {
-	row, err := SubVectorRun(f61, 1<<12, 1000, 1000, 45)
+	row, err := SubVectorRun(f61, 1<<12, 1000, 1000, 45, 0)
 	if err != nil {
 		t.Fatalf("row errored: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestSubVectorRow(t *testing.T) {
 }
 
 func TestSubVectorSpanClamped(t *testing.T) {
-	row, err := SubVectorRun(f61, 64, 1000, 10, 46)
+	row, err := SubVectorRun(f61, 64, 1000, 10, 46, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/field"
+	"repro/internal/parallel"
 	"repro/internal/stream"
 )
 
@@ -22,6 +23,14 @@ type IncrementalTree struct {
 	F      field.Field
 	Params Params
 	Kind   Kind
+
+	// Workers sets the fan-out of Extend: each level's hashes are computed
+	// by that many goroutines over contiguous node blocks (0 serial, n < 0
+	// runtime.NumCPU()). The hash of each node depends only on its children
+	// and the revealed randomness, so every worker count produces identical
+	// trees.
+	Workers int
+
 	levels [][]Node
 	r      []field.Elem
 	q      []field.Elem
@@ -80,19 +89,25 @@ func (t *IncrementalTree) Extend(r, q field.Elem) error {
 	h := Hasher{F: t.F, Params: t.Params, Kind: t.Kind, R: t.r, Q: t.q}
 	prev := t.levels[j-1]
 	cur := t.levels[j]
-	pi := 0
-	for ci := range cur {
-		parent := cur[ci].Index
-		var left, right field.Elem
-		for ; pi < len(prev) && prev[pi].Index>>1 == parent; pi++ {
-			if prev[pi].Index&1 == 0 {
-				left = prev[pi].Hash
-			} else {
-				right = prev[pi].Hash
+	// Each parent's children occupy a contiguous run of prev, so the level
+	// splits into independent blocks: a worker locates the first child of
+	// its block's first parent by binary search and then merges forward,
+	// exactly as the serial scan would.
+	parallel.For(parallel.Workers(t.Workers), len(cur), func(_, lo, hi int) {
+		pi := sort.Search(len(prev), func(i int) bool { return prev[i].Index>>1 >= cur[lo].Index })
+		for ci := lo; ci < hi; ci++ {
+			parent := cur[ci].Index
+			var left, right field.Elem
+			for ; pi < len(prev) && prev[pi].Index>>1 == parent; pi++ {
+				if prev[pi].Index&1 == 0 {
+					left = prev[pi].Hash
+				} else {
+					right = prev[pi].Hash
+				}
 			}
+			cur[ci].Hash = h.Combine(j, left, right, t.F.FromInt64(cur[ci].Count))
 		}
-		cur[ci].Hash = h.Combine(j, left, right, t.F.FromInt64(cur[ci].Count))
-	}
+	})
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"math/bits"
 
 	"repro/internal/field"
+	"repro/internal/parallel"
 )
 
 // Params fixes the (ℓ, d) decomposition of a universe: u = ℓ^d.
@@ -119,23 +120,49 @@ func BasisWeights(f field.Field, ell int) []field.Elem {
 // nodes 0..ℓ-1, Eq. 2 of the paper) at the point x, in O(ℓ) operations
 // given precomputed weights.
 func AllChi(f field.Field, weights []field.Elem, x field.Elem) []field.Elem {
+	out := make([]field.Elem, len(weights))
+	chiInto(f, weights, x, out, make([]field.Elem, len(weights)))
+	return out
+}
+
+// chiInto is AllChi writing into caller-provided storage: out receives the
+// ℓ basis values and scratch (also length ℓ) holds the prefix products.
+func chiInto(f field.Field, weights []field.Elem, x field.Elem, out, scratch []field.Elem) {
 	ell := len(weights)
-	out := make([]field.Elem, ell)
 	// If x is a node, χ is an indicator.
 	if uint64(x) < uint64(ell) {
+		for k := range out {
+			out[k] = 0
+		}
 		out[x] = 1
-		return out
+		return
 	}
-	prefix := make([]field.Elem, ell)
 	acc := field.Elem(1)
 	for k := 0; k < ell; k++ {
-		prefix[k] = acc
+		scratch[k] = acc
 		acc = f.Mul(acc, f.Sub(x, f.Reduce(uint64(k))))
 	}
 	suffix := field.Elem(1)
 	for k := ell - 1; k >= 0; k-- {
-		out[k] = f.Mul(weights[k], f.Mul(prefix[k], suffix))
+		out[k] = f.Mul(weights[k], f.Mul(scratch[k], suffix))
 		suffix = f.Mul(suffix, f.Sub(x, f.Reduce(uint64(k))))
+	}
+}
+
+// ChiTables is the batched χ-table builder: it evaluates the full basis at
+// every point of xs in one call, sharing one backing allocation and one
+// scratch buffer across the batch. ChiTables(f, w, xs)[i][k] = χ_k(xs[i]).
+// Both the evaluation-point tables of NewPoint and the per-evaluation-node
+// tables of the sum-check prover are built this way.
+func ChiTables(f field.Field, weights []field.Elem, xs []field.Elem) [][]field.Elem {
+	ell := len(weights)
+	backing := make([]field.Elem, len(xs)*ell)
+	scratch := make([]field.Elem, ell)
+	out := make([][]field.Elem, len(xs))
+	for i, x := range xs {
+		row := backing[i*ell : (i+1)*ell : (i+1)*ell]
+		chiInto(f, weights, x, row, scratch)
+		out[i] = row
 	}
 	return out
 }
@@ -160,10 +187,7 @@ func NewPoint(f field.Field, params Params, r []field.Elem) (*Point, error) {
 		return nil, fmt.Errorf("lde: point has %d coordinates, want %d", len(r), params.D)
 	}
 	w := BasisWeights(f, params.Ell)
-	chi := make([][]field.Elem, params.D)
-	for j := range chi {
-		chi[j] = AllChi(f, w, r[j])
-	}
+	chi := ChiTables(f, w, r)
 	return &Point{F: f, Params: params, R: append([]field.Elem(nil), r...), Chi: chi}, nil
 }
 
@@ -216,6 +240,39 @@ func (e *Evaluator) Update(i uint64, delta int64) error {
 	return nil
 }
 
+// BulkUpdate folds a batch of stream elements into the running evaluation
+// using a worker pool: each worker accumulates δ·χ_v(i)(r) over a
+// contiguous block and the block sums are folded in block order. Because
+// field addition is exact, the result is bit-identical to feeding the same
+// batch through Update one element at a time, for any worker count
+// (workers ≤ 0 follows the parallel.Workers convention). Either the whole
+// batch is applied or, when any index is out of range, none of it.
+func (e *Evaluator) BulkUpdate(idx []uint64, deltas []int64, workers int) error {
+	if len(idx) != len(deltas) {
+		return fmt.Errorf("lde: bulk update has %d indices but %d deltas", len(idx), len(deltas))
+	}
+	u := e.pt.Params.U
+	for _, i := range idx {
+		if i >= u {
+			return fmt.Errorf("lde: index %d outside universe [0,%d)", i, u)
+		}
+	}
+	nw := parallel.Workers(workers)
+	partials := make([]field.Elem, parallel.Chunks(nw, len(idx)))
+	f := e.pt.F
+	parallel.For(nw, len(idx), func(chunk, lo, hi int) {
+		var acc field.Elem
+		for k := lo; k < hi; k++ {
+			d := f.FromInt64(deltas[k])
+			acc = f.Add(acc, f.Mul(d, e.pt.ChiOfIndex(idx[k])))
+		}
+		partials[chunk] = acc
+	})
+	e.acc = f.Add(e.acc, f.SumSlice(partials))
+	e.n += uint64(len(idx))
+	return nil
+}
+
 // Value returns the current f_a(r).
 func (e *Evaluator) Value() field.Elem { return e.acc }
 
@@ -234,25 +291,49 @@ func (e *Evaluator) SpaceWords() int { return e.pt.Params.D + 1 }
 // the prover-side (and test oracle) counterpart of the streaming
 // evaluator.
 func EvalDense(pt *Point, table []field.Elem) (field.Elem, error) {
+	return EvalDenseWorkers(pt, table, 1)
+}
+
+// EvalDenseWorkers is EvalDense with the fold of each dimension fanned out
+// across a worker pool (workers ≤ 0 follows the parallel.Workers
+// convention). Each worker folds a contiguous block of the output table,
+// so the result is bit-identical to the serial evaluation for every worker
+// count — field arithmetic is exact and blocks are disjoint.
+func EvalDenseWorkers(pt *Point, table []field.Elem, workers int) (field.Elem, error) {
 	params := pt.Params
 	if uint64(len(table)) != params.U {
 		return 0, fmt.Errorf("lde: table has %d entries, want %d", len(table), params.U)
 	}
+	nw := parallel.Workers(workers)
 	cur := append([]field.Elem(nil), table...)
 	ell := params.Ell
 	f := pt.F
+	scratch := make([]field.Elem, len(cur)/ell)
 	for j := 0; j < params.D; j++ {
-		next := make([]field.Elem, len(cur)/ell)
-		for w := range next {
-			var acc field.Elem
-			for k := 0; k < ell; k++ {
-				if c := cur[w*ell+k]; c != 0 {
-					acc = f.Add(acc, f.Mul(pt.Chi[j][k], c))
-				}
+		size := len(cur) / ell
+		next := scratch[:size]
+		if ell == 2 {
+			// χ_0(r)=1−r, χ_1(r)=r: fold as t0 + r·(t1−t0).
+			r := pt.R[j]
+			parallel.For(nw, size, func(_, lo, hi int) {
+				f.FoldPairs(next[lo:hi], cur[2*lo:2*hi], r)
+			})
+		} else {
+			chi := pt.Chi[j]
+			// Each index costs ℓ field ops; scale the grain so large-ℓ
+			// decompositions with few indices still fan out.
+			grain := parallel.MinGrain / ell
+			if grain < 1 {
+				grain = 1
 			}
-			next[w] = acc
+			parallel.ForGrain(nw, size, grain, func(_, lo, hi int) {
+				for w := lo; w < hi; w++ {
+					next[w] = f.DotSlices(chi, cur[w*ell:(w+1)*ell])
+				}
+			})
 		}
-		cur = next
+		// Ping-pong the buffers; cur always has capacity ≥ size/ell.
+		cur, scratch = next, cur
 	}
 	return cur[0], nil
 }

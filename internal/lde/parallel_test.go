@@ -1,0 +1,116 @@
+package lde
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+// TestChiTablesMatchesAllChi: the batched builder must agree with the
+// one-point builder at nodes and non-nodes alike.
+func TestChiTablesMatchesAllChi(t *testing.T) {
+	f := field.Mersenne()
+	for _, ell := range []int{2, 3, 5, 16} {
+		w := BasisWeights(f, ell)
+		xs := []field.Elem{0, 1, field.Elem(ell - 1), field.Elem(ell), 12345, f.Reduce(^uint64(0))}
+		tables := ChiTables(f, w, xs)
+		if len(tables) != len(xs) {
+			t.Fatalf("ell=%d: %d tables for %d points", ell, len(tables), len(xs))
+		}
+		for i, x := range xs {
+			want := AllChi(f, w, x)
+			for k := range want {
+				if tables[i][k] != want[k] {
+					t.Fatalf("ell=%d x=%d: ChiTables[%d][%d] = %d, want %d", ell, x, i, k, tables[i][k], want[k])
+				}
+			}
+		}
+		// Rows must be independent storage: writing one must not leak.
+		if len(tables) >= 2 {
+			tables[0][0] = 99
+			want := AllChi(f, w, xs[1])
+			if tables[1][0] != want[0] {
+				t.Fatalf("ell=%d: ChiTables rows alias each other", ell)
+			}
+		}
+	}
+}
+
+// TestEvalDenseWorkersMatchesSerial: every worker count must produce the
+// bit-identical evaluation, for ℓ=2 and a generic branching factor.
+func TestEvalDenseWorkersMatchesSerial(t *testing.T) {
+	f := field.Mersenne()
+	rng := field.NewSplitMix64(77)
+	for _, cfg := range []struct{ ell, d int }{{2, 12}, {4, 6}, {3, 7}} {
+		params, err := NewParams(cfg.ell, cfg.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := RandomPoint(f, params, rng)
+		table := f.RandVec(rng, int(params.U))
+		want, err := EvalDense(pt, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 16, -1} {
+			got, err := EvalDenseWorkers(pt, table, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("ell=%d d=%d workers=%d: EvalDenseWorkers = %d, want %d", cfg.ell, cfg.d, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestBulkUpdateMatchesStreaming: BulkUpdate must agree bit-for-bit with
+// element-wise Update, and must be all-or-nothing on bad input.
+func TestBulkUpdateMatchesStreaming(t *testing.T) {
+	f := field.Mersenne()
+	params, err := NewParams(2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := field.NewSplitMix64(5)
+	pt := RandomPoint(f, params, rng)
+
+	const n = 10000
+	idx := make([]uint64, n)
+	deltas := make([]int64, n)
+	for i := range idx {
+		idx[i] = rng.Uint64() % params.U
+		deltas[i] = int64(rng.Uint64()%2001) - 1000
+	}
+
+	serial := NewEvaluator(pt)
+	for i := range idx {
+		if err := serial.Update(idx[i], deltas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 3, 8, -1} {
+		bulk := NewEvaluator(pt)
+		if err := bulk.BulkUpdate(idx, deltas, workers); err != nil {
+			t.Fatal(err)
+		}
+		if bulk.Value() != serial.Value() {
+			t.Fatalf("workers=%d: BulkUpdate = %d, want %d", workers, bulk.Value(), serial.Value())
+		}
+		if bulk.Updates() != serial.Updates() {
+			t.Fatalf("workers=%d: BulkUpdate counted %d updates, want %d", workers, bulk.Updates(), serial.Updates())
+		}
+	}
+
+	// Out-of-range index: error, no partial application.
+	bad := NewEvaluator(pt)
+	if err := bad.BulkUpdate([]uint64{0, params.U}, []int64{1, 1}, 4); err == nil {
+		t.Fatal("out-of-range bulk update accepted")
+	}
+	if bad.Value() != 0 || bad.Updates() != 0 {
+		t.Fatal("failed bulk update partially applied")
+	}
+	if err := bad.BulkUpdate([]uint64{0}, []int64{1, 2}, 4); err == nil {
+		t.Fatal("mismatched bulk update lengths accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != 1 {
+		t.Errorf("Workers(0) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+	if got := Workers(-1); got != runtime.NumCPU() {
+		t.Errorf("Workers(-1) = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+}
+
+// TestForCoversRange checks that every index is visited exactly once and
+// that chunk indices are dense and within Chunks().
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, MinGrain - 1, MinGrain, 3 * MinGrain, 4*MinGrain + 17} {
+			visited := make([]int32, n)
+			maxChunk := int32(-1)
+			For(workers, n, func(chunk, lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visited[i], 1)
+				}
+				for {
+					old := atomic.LoadInt32(&maxChunk)
+					if int32(chunk) <= old || atomic.CompareAndSwapInt32(&maxChunk, old, int32(chunk)) {
+						break
+					}
+				}
+			})
+			for i, v := range visited {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+			want := Chunks(workers, n)
+			if int(maxChunk)+1 != want && n > 0 {
+				t.Errorf("workers=%d n=%d: %d chunks used, Chunks() = %d", workers, n, maxChunk+1, want)
+			}
+			if n == 0 && want != 0 {
+				t.Errorf("Chunks(%d, 0) = %d, want 0", workers, want)
+			}
+		}
+	}
+}
+
+// TestForSmallInputStaysSerial guards the grain: inputs below MinGrain
+// must not fork (chunk 0 only).
+func TestForSmallInputStaysSerial(t *testing.T) {
+	calls := 0
+	For(16, MinGrain-1, func(chunk, lo, hi int) {
+		calls++
+		if chunk != 0 || lo != 0 || hi != MinGrain-1 {
+			t.Errorf("small input forked: chunk=%d [%d,%d)", chunk, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("small input ran %d bodies, want 1", calls)
+	}
+}

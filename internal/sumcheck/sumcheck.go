@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/lde"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 )
 
@@ -121,6 +122,16 @@ type Config struct {
 	Field    field.Field
 	Params   lde.Params
 	Combiner Combiner
+
+	// Workers sets the prover's fan-out: every table scan (claimed total,
+	// per-round messages, folds) is split into contiguous chunks processed
+	// by that many goroutines, with per-chunk partials combined in chunk
+	// order. Because field arithmetic is exact, the transcript is
+	// bit-identical for every worker count. 0 (the default) runs serially,
+	// n < 0 selects runtime.NumCPU(). The verifier ignores it — checking is
+	// already O(log u). Combiners must be safe for concurrent Apply calls
+	// when Workers != 0 (the combiners in this package are pure).
+	Workers int
 }
 
 func (c Config) degree() int {
@@ -158,11 +169,16 @@ func (c Config) Validate() error {
 // Prover
 
 // Prover is the honest prover: it stores the full frequency tables and
-// answers each round from progressively folded copies.
+// answers each round from progressively folded copies. All table scans
+// fan out across cfg.Workers goroutines in contiguous chunks; since field
+// arithmetic is exact and partials are combined in chunk order, the
+// transcript is bit-identical for every worker count.
 type Prover struct {
 	cfg     Config
+	workers int
 	tables  [][]field.Elem
 	chiAt   [][]field.Elem // chiAt[c][k] = χ_k(c) for evaluation points c=0..deg
+	cElems  []field.Elem   // cElems[c] = c as a field element
 	weights []field.Elem   // Lagrange basis weights for arbitrary-point folds
 	round   int
 }
@@ -186,25 +202,38 @@ func NewProver(cfg Config, tables ...[]field.Elem) (*Prover, error) {
 	}
 	deg := cfg.degree()
 	weights := lde.BasisWeights(cfg.Field, cfg.Params.Ell)
-	chiAt := make([][]field.Elem, deg+1)
+	cElems := make([]field.Elem, deg+1)
 	for c := 0; c <= deg; c++ {
-		chiAt[c] = lde.AllChi(cfg.Field, weights, cfg.Field.Reduce(uint64(c)))
+		cElems[c] = cfg.Field.Reduce(uint64(c))
 	}
-	return &Prover{cfg: cfg, tables: own, chiAt: chiAt, weights: weights}, nil
+	chiAt := lde.ChiTables(cfg.Field, weights, cElems)
+	return &Prover{
+		cfg:     cfg,
+		workers: parallel.Workers(cfg.Workers),
+		tables:  own,
+		chiAt:   chiAt,
+		cElems:  cElems,
+		weights: weights,
+	}, nil
 }
 
 // Total returns the true value of the sum — the answer the prover claims.
 func (p *Prover) Total() field.Elem {
 	f := p.cfg.Field
-	vals := make([]field.Elem, len(p.tables))
-	var total field.Elem
-	for i := range p.tables[0] {
-		for t := range p.tables {
-			vals[t] = p.tables[t][i]
+	n := len(p.tables[0])
+	partials := make([]field.Elem, parallel.Chunks(p.workers, n))
+	parallel.For(p.workers, n, func(chunk, lo, hi int) {
+		vals := make([]field.Elem, len(p.tables))
+		var total field.Elem
+		for i := lo; i < hi; i++ {
+			for t := range p.tables {
+				vals[t] = p.tables[t][i]
+			}
+			total = f.Add(total, p.cfg.Combiner.Apply(f, vals))
 		}
-		total = f.Add(total, p.cfg.Combiner.Apply(f, vals))
-	}
-	return total
+		partials[chunk] = total
+	})
+	return f.SumSlice(partials)
 }
 
 // RoundMessage computes the evaluations g_j(0..deg) for the current round.
@@ -217,33 +246,43 @@ func (p *Prover) RoundMessage() ([]field.Elem, error) {
 	ell := p.cfg.Params.Ell
 	deg := p.cfg.degree()
 	size := len(p.tables[0]) / ell
-	out := make([]field.Elem, deg+1)
-	vals := make([]field.Elem, len(p.tables))
-	for c := 0; c <= deg; c++ {
-		chi := p.chiAt[c]
-		var sum field.Elem
-		for w := 0; w < size; w++ {
-			for t, tab := range p.tables {
-				base := w * ell
-				if c < ell {
-					// χ at a node is an indicator: direct read.
-					vals[t] = tab[base+c]
-				} else if ell == 2 {
-					// (1-c)·T0 + c·T1 = T0 + c·(T1-T0): one multiply.
-					vals[t] = f.Add(tab[base], f.Mul(f.Reduce(uint64(c)), f.Sub(tab[base+1], tab[base])))
-				} else {
-					var acc field.Elem
-					for k := 0; k < ell; k++ {
-						if tv := tab[base+k]; tv != 0 {
-							acc = f.Add(acc, f.Mul(chi[k], tv))
-						}
-					}
-					vals[t] = acc
+	// Each index costs ~(deg+1)·ℓ·arity field ops, so scale the grain down
+	// accordingly: coarse decompositions (large ℓ, few but heavy indices)
+	// must still fan out.
+	grain := grainFor((deg + 1) * ell * len(p.tables))
+	partials := make([][]field.Elem, parallel.ChunksGrain(p.workers, size, grain))
+	parallel.ForGrain(p.workers, size, grain, func(chunk, lo, hi int) {
+		out := make([]field.Elem, deg+1)
+		vals := make([]field.Elem, len(p.tables))
+		diffs := make([]field.Elem, len(p.tables))
+		for w := lo; w < hi; w++ {
+			base := w * ell
+			if ell == 2 {
+				for t, tab := range p.tables {
+					diffs[t] = f.Sub(tab[base+1], tab[base])
 				}
 			}
-			sum = f.Add(sum, p.cfg.Combiner.Apply(f, vals))
+			for c := 0; c <= deg; c++ {
+				for t, tab := range p.tables {
+					switch {
+					case c < ell:
+						// χ at a node is an indicator: direct read.
+						vals[t] = tab[base+c]
+					case ell == 2:
+						// (1-c)·T0 + c·T1 = T0 + c·(T1-T0): one multiply.
+						vals[t] = f.Add(tab[base], f.Mul(p.cElems[c], diffs[t]))
+					default:
+						vals[t] = f.DotSlices(p.chiAt[c], tab[base:base+ell])
+					}
+				}
+				out[c] = f.Add(out[c], p.cfg.Combiner.Apply(f, vals))
+			}
 		}
-		out[c] = sum
+		partials[chunk] = out
+	})
+	out := make([]field.Elem, deg+1)
+	for _, part := range partials {
+		f.AddSlices(out, out, part)
 	}
 	return out, nil
 }
@@ -256,25 +295,24 @@ func (p *Prover) Fold(r field.Elem) error {
 	}
 	f := p.cfg.Field
 	ell := p.cfg.Params.Ell
-	chi := lde.AllChi(f, p.weights, r)
+	var chi []field.Elem
+	if ell != 2 {
+		chi = lde.AllChi(f, p.weights, r)
+	}
 	for t, tab := range p.tables {
 		size := len(tab) / ell
 		next := make([]field.Elem, size)
 		if ell == 2 {
-			for w := 0; w < size; w++ {
+			parallel.For(p.workers, size, func(_, lo, hi int) {
 				// (1-r)·T0 + r·T1 = T0 + r·(T1-T0).
-				next[w] = f.Add(tab[2*w], f.Mul(r, f.Sub(tab[2*w+1], tab[2*w])))
-			}
+				f.FoldPairs(next[lo:hi], tab[2*lo:2*hi], r)
+			})
 		} else {
-			for w := 0; w < size; w++ {
-				var acc field.Elem
-				for k := 0; k < ell; k++ {
-					if tv := tab[w*ell+k]; tv != 0 {
-						acc = f.Add(acc, f.Mul(chi[k], tv))
-					}
+			parallel.ForGrain(p.workers, size, grainFor(ell), func(_, lo, hi int) {
+				for w := lo; w < hi; w++ {
+					next[w] = f.DotSlices(chi, tab[w*ell:(w+1)*ell])
 				}
-				next[w] = acc
-			}
+			})
 		}
 		p.tables[t] = next
 	}
@@ -285,6 +323,19 @@ func (p *Prover) Fold(r field.Elem) error {
 // Round reports the current round index (0-based; equals the number of
 // folds performed).
 func (p *Prover) Round() int { return p.round }
+
+// grainFor scales the parallel grain down by the per-index cost (in field
+// operations) so the fork threshold tracks work, not element count.
+func grainFor(cost int) int {
+	if cost < 1 {
+		cost = 1
+	}
+	g := parallel.MinGrain / cost
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // ---------------------------------------------------------------------
 // Verifier

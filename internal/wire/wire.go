@@ -72,6 +72,11 @@ const maxFrame = 64 << 20
 // ErrProtocol reports a malformed or unexpected frame.
 var ErrProtocol = errors.New("wire: protocol error")
 
+// ErrServerClosed is returned by Server.Serve after Server.Close,
+// mirroring net/http.ErrServerClosed: an intentional shutdown is not a
+// transport failure and callers can distinguish it with errors.Is.
+var ErrServerClosed = errors.New("wire: server closed")
+
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	var head [5]byte
 	binary.LittleEndian.PutUint32(head[:4], uint32(len(payload)))
@@ -175,23 +180,44 @@ func decodeQuery(b []byte) (QueryKind, QueryParams, error) {
 // per connection and constructs honest provers on demand.
 type Server struct {
 	F field.Field
+	// Workers is handed to every prover the server builds: 0 proves each
+	// query serially, n > 0 fans the prover's table scans across n
+	// goroutines, n < 0 uses runtime.NumCPU(). Transcripts are identical
+	// either way; only latency changes.
+	Workers int
 	// Corrupt, when non-nil, rewrites the stored stream before proving —
 	// a hook for the dishonest-cloud experiments and tests.
 	Corrupt func([]stream.Update) []stream.Update
 
-	mu sync.Mutex
-	ln net.Listener
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
 }
 
 // Serve accepts connections until the listener closes. Each connection is
-// served on its own goroutine.
+// served on its own goroutine. After an intentional Close, Serve returns
+// ErrServerClosed rather than the listener's "use of closed network
+// connection" error.
 func (s *Server) Serve(ln net.Listener) error {
+	// As in net/http, Serve on an already-closed server refuses without
+	// touching (or registering) the caller's listener — a later Close must
+	// not close a listener the server never served.
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
 	s.ln = ln
 	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
 			return err
 		}
 		go func() {
@@ -203,12 +229,17 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops the listener.
+// Close stops the listener; a Serve in flight (or started later) returns
+// ErrServerClosed. Close is idempotent — each served listener is closed
+// at most once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ln != nil {
-		return s.ln.Close()
+	s.closed = true
+	ln := s.ln
+	s.ln = nil
+	if ln != nil {
+		return ln.Close()
 	}
 	return nil
 }
@@ -252,7 +283,7 @@ func (s *Server) handle(conn net.Conn) error {
 			if s.Corrupt != nil {
 				ups = s.Corrupt(append([]stream.Update(nil), updates...))
 			}
-			session, err := BuildProver(s.F, u, kind, params, ups)
+			session, err := BuildProver(s.F, u, kind, params, ups, s.Workers)
 			if err != nil {
 				return err
 			}
@@ -301,8 +332,10 @@ func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
 }
 
 // BuildProver constructs the prover session for a query by replaying the
-// stored stream — the honest cloud's behavior.
-func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, ups []stream.Update) (core.ProverSession, error) {
+// stored stream — the honest cloud's behavior. workers is the prover's
+// parallel fan-out (0 serial, n < 0 runtime.NumCPU()); the transcript is
+// identical for every value.
+func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, ups []stream.Update, workers int) (core.ProverSession, error) {
 	observe := func(obs interface{ Observe(stream.Update) error }) error {
 		for _, up := range ups {
 			if err := obs.Observe(up); err != nil {
@@ -321,6 +354,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.Workers = workers
 		p := proto.NewProver()
 		return p, observe(p)
 	case QueryRangeSum:
@@ -328,6 +362,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.Workers = workers
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -338,6 +373,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.Workers = workers
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -348,6 +384,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.SetWorkers(workers)
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -358,6 +395,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.SetWorkers(workers)
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -368,6 +406,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.SetWorkers(workers)
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -378,6 +417,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.SetWorkers(workers)
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -388,6 +428,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.SetWorkers(workers)
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -398,6 +439,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.Workers = workers
 		p := proto.NewProver()
 		if err := observe(p); err != nil {
 			return nil, err
@@ -408,6 +450,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.Workers = workers
 		p := proto.NewProver()
 		return p, observe(p)
 	case QueryFmax:
@@ -415,6 +458,7 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		if err != nil {
 			return nil, err
 		}
+		proto.SetWorkers(workers)
 		p := proto.NewProver()
 		return p, observe(p)
 	default:

@@ -248,11 +248,13 @@ func TestBuildProverKinds(t *testing.T) {
 		{QueryFmax, QueryParams{}},
 	}
 	for _, c := range kinds {
-		if _, err := BuildProver(f61, u, c.kind, c.params, ups); err != nil {
-			t.Errorf("BuildProver(%d): %v", c.kind, err)
+		for _, workers := range []int{0, -1} {
+			if _, err := BuildProver(f61, u, c.kind, c.params, ups, workers); err != nil {
+				t.Errorf("BuildProver(%d, workers=%d): %v", c.kind, workers, err)
+			}
 		}
 	}
-	if _, err := BuildProver(f61, u, QueryKind(99), QueryParams{}, ups); err == nil {
+	if _, err := BuildProver(f61, u, QueryKind(99), QueryParams{}, ups, 0); err == nil {
 		t.Error("unknown kind accepted")
 	}
 }

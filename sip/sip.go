@@ -23,6 +23,7 @@
 // Typical use:
 //
 //	proto, _ := sip.NewSelfJoinSize(sip.Mersenne(), 1<<20)
+//	proto.Workers = -1            // prover uses every core (optional)
 //	v := proto.NewVerifier(rng)   // data owner: O(log u) space
 //	p := proto.NewProver()        // cloud: stores the data
 //	for _, up := range updates {
@@ -31,6 +32,18 @@
 //	}
 //	stats, err := sip.Run(p, v)   // interactive verification
 //	f2, _ := v.Result()
+//
+// # Parallel proving
+//
+// The prover is the expensive party (Θ(u log u)-ish field work for the
+// multi-round protocols, Θ(u^{3/2}) one-round), and its table scans are
+// embarrassingly parallel. Every protocol struct carries a Workers field:
+// 0 (default) proves serially, n > 0 fans each scan out across n
+// goroutines, and -1 selects runtime.NumCPU(). Because all arithmetic is
+// exact field arithmetic combined in deterministic chunk order, the
+// transcript — every message, every claim — is bit-identical for every
+// worker count; only wall-clock time changes. The verifier's costs are
+// already logarithmic and are unaffected.
 //
 // For production the verifier's randomness must come from
 // sip.NewCryptoRNG(); deterministic seeds are for tests and experiments.
