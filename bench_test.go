@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/ccm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/gkrbench"
 	"repro/internal/harness"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/merkle"
 	"repro/internal/stream"
 	"repro/internal/sumcheck"
+	"repro/internal/wire"
 )
 
 var f61 = field.Mersenne()
@@ -534,4 +536,89 @@ func BenchmarkRootMaintenance(b *testing.B) {
 		}
 		b.ReportMetric(float64(32*tree.UpdateCost()), "space-B")
 	})
+}
+
+// ---------------------------------------------------------------------
+// Dataset-engine amortization: the per-query prover setup cost of the
+// old stream-replay path versus construction from a maintained dataset
+// snapshot (ingest once, prove many). The stream is 4× the universe, the
+// shape of a long-lived dataset; conversation costs are identical either
+// way (transcripts are bit-identical), so only setup is timed.
+
+func amortUpdates(u uint64) []stream.Update {
+	return stream.UnitIncrements(u, int(4*u), field.NewSplitMix64(77))
+}
+
+func BenchmarkProverSetupReplay(b *testing.B) {
+	const logu = 18
+	u := uint64(1) << logu
+	ups := amortUpdates(u)
+	for _, kind := range []struct {
+		name string
+		kind wire.QueryKind
+		p    wire.QueryParams
+	}{
+		{"F2", wire.QuerySelfJoinSize, wire.QueryParams{}},
+		{"RangeQuery", wire.QueryRangeQuery, wire.QueryParams{A: 10, B: 1000}},
+	} {
+		b.Run(fmt.Sprintf("%s/logu=%d", kind.name, logu), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.BuildProver(f61, u, kind.kind, kind.p, ups, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
+}
+
+func BenchmarkProverSetupSnapshot(b *testing.B) {
+	const logu = 18
+	u := uint64(1) << logu
+	ups := amortUpdates(u)
+	ds, err := engine.NewDataset(f61, u, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ds.Ingest(ups); err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []struct {
+		name string
+		kind engine.QueryKind
+		p    engine.QueryParams
+	}{
+		{"F2", engine.QuerySelfJoinSize, engine.QueryParams{}},
+		{"RangeQuery", engine.QueryRangeQuery, engine.QueryParams{A: 10, B: 1000}},
+	} {
+		b.Run(fmt.Sprintf("%s/logu=%d", kind.name, logu), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.Snapshot().NewProver(kind.kind, kind.p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDatasetIngest: the one-time batch ingestion the snapshot path
+// pays instead of per-query replay.
+func BenchmarkDatasetIngest(b *testing.B) {
+	const logu = 18
+	u := uint64(1) << logu
+	ups := amortUpdates(u)
+	for _, workers := range []int{1, -1} {
+		b.Run(fmt.Sprintf("logu=%d/workers=%d", logu, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds, err := engine.NewDataset(f61, u, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ds.Ingest(ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
+		})
+	}
 }

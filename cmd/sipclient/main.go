@@ -3,9 +3,17 @@
 // battery of verified queries and reports results and costs.
 //
 //	sipclient -addr localhost:7408 -logu 16 -n 65536 -seed 7
+//	sipclient -addr localhost:7408 -dataset metrics -queries 5
 //
-// Point it at a server started with -cheat-drop to watch every query get
-// rejected.
+// Without -dataset the client uses the v1 flow: a private per-connection
+// dataset that dies with the connection. With -dataset it opens (or
+// creates) the named dataset on the server — shared across every
+// connection that opens the same name — ingests into it, and repeats the
+// query battery -queries times to show the amortization: the stream is
+// ingested once, and every query (first and Nth alike) skips the replay.
+//
+// Point it at a server started with -cheat-drop to watch every v1 query
+// get rejected.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/field"
@@ -27,6 +36,8 @@ func main() {
 	logu := flag.Int("logu", 16, "log2 of the universe size")
 	n := flag.Int("n", 1<<16, "stream length (unit increments)")
 	seed := flag.Uint64("seed", 7, "workload seed")
+	dataset := flag.String("dataset", "", "named shared dataset (empty = private v1 connection)")
+	queries := flag.Int("queries", 1, "how many times to run the query battery (with -dataset)")
 	flag.Parse()
 
 	f := field.Mersenne()
@@ -34,67 +45,121 @@ func main() {
 	gen := field.NewSplitMix64(*seed)
 	ups := stream.UnitIncrements(u, *n, gen)
 
+	// Probe before the expensive verifier passes: a shared dataset that
+	// already holds updates this client never observed can never verify,
+	// so fail fast. A separate short-lived connection keeps the server's
+	// idle-timeout clock out of the local observation pass.
+	if *dataset != "" {
+		probe, err := wire.Dial(*addr)
+		if err != nil {
+			log.Fatalf("dial: %v", err)
+		}
+		prior, err := probe.OpenDataset(*dataset, u)
+		check(err)
+		probe.Close()
+		if prior != 0 {
+			log.Fatalf("dataset %q already holds %d updates this client never observed; "+
+				"verification summaries must cover the whole stream — use a fresh name", *dataset, prior)
+		}
+	}
+
+	// Verifiers are created before the upload: the single streaming pass.
+	// One set per battery round — each conversation consumes its verifier.
+	rounds := 1
+	if *dataset != "" {
+		rounds = *queries
+		if rounds < 1 {
+			rounds = 1
+		}
+	}
+	rng := field.CryptoRNG{}
+	f2vs := make([]*core.FkVerifier, rounds)
+	rqvs := make([]*core.SubVectorVerifier, rounds)
+	hhvs := make([]*core.HeavyHittersVerifier, rounds)
+	for r := 0; r < rounds; r++ {
+		f2proto, err := core.NewSelfJoinSize(f, u)
+		check(err)
+		f2vs[r] = f2proto.NewVerifier(rng)
+		rqproto, err := core.NewRangeQuery(f, u)
+		check(err)
+		rqvs[r] = rqproto.NewVerifier(rng)
+		hhproto, err := core.NewHeavyHitters(f, u)
+		check(err)
+		hhvs[r] = hhproto.NewVerifier(rng)
+	}
+
+	// The F2 summary is a plain LDE evaluation, so the whole batch can be
+	// folded in through a worker pool; the tree-based summaries stream.
+	for r := 0; r < rounds; r++ {
+		check(f2vs[r].ObserveBatch(ups, runtime.NumCPU()))
+	}
+	for _, up := range ups {
+		for r := 0; r < rounds; r++ {
+			check(rqvs[r].Observe(up))
+			check(hhvs[r].Observe(up))
+		}
+	}
+
+	// Connect for real only now that the heavy local pass is done, so
+	// the server's idle timeout never sees a silent connection.
 	client, err := wire.Dial(*addr)
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
 	defer client.Close()
-	if err := client.Hello(u); err != nil {
-		log.Fatalf("hello: %v", err)
+	if *dataset != "" {
+		prior, err := client.OpenDataset(*dataset, u)
+		check(err)
+		if prior != 0 {
+			log.Fatalf("dataset %q gained %d updates from another uploader during the local pass; use a fresh name", *dataset, prior)
+		}
+		_, err = client.Ingest(ups)
+		check(err)
+		fmt.Printf("ingested %d updates into shared dataset %q over universe 2^%d\n", len(ups), *dataset, *logu)
+	} else {
+		check(client.Hello(u))
+		check(client.SendUpdates(ups))
+		check(client.EndStream())
+		fmt.Printf("uploaded %d updates over universe 2^%d; verifier state is O(log u)\n", len(ups), *logu)
 	}
 
-	// Verifiers are created before the upload: the single streaming pass.
-	rng := field.CryptoRNG{}
-	f2proto, err := core.NewSelfJoinSize(f, u)
-	check(err)
-	f2v := f2proto.NewVerifier(rng)
-	rqproto, err := core.NewRangeQuery(f, u)
-	check(err)
-	rqv := rqproto.NewVerifier(rng)
-	hhproto, err := core.NewHeavyHitters(f, u)
-	check(err)
-	hhv := hhproto.NewVerifier(rng)
+	for r := 0; r < rounds; r++ {
+		if rounds > 1 {
+			fmt.Printf("--- query round %d/%d (no re-upload, no server-side replay) ---\n", r+1, rounds)
+		}
+		t0 := time.Now()
 
-	// The F2 summary is a plain LDE evaluation, so the whole batch can be
-	// folded in through a worker pool; the tree-based summaries stream.
-	check(f2v.ObserveBatch(ups, runtime.NumCPU()))
-	for _, up := range ups {
-		check(rqv.Observe(up))
-		check(hhv.Observe(up))
-	}
-	check(client.SendUpdates(ups))
-	check(client.EndStream())
-	fmt.Printf("uploaded %d updates over universe 2^%d; verifier state is O(log u)\n", len(ups), *logu)
+		// SELF-JOIN SIZE.
+		stats, err := client.Query(wire.QuerySelfJoinSize, wire.QueryParams{}, f2vs[r])
+		report("SELF-JOIN SIZE (F2)", stats, err)
+		if err == nil {
+			res, rerr := f2vs[r].Result()
+			check(rerr)
+			fmt.Printf("  F2 = %d\n", res)
+		}
 
-	// SELF-JOIN SIZE.
-	stats, err := client.Query(wire.QuerySelfJoinSize, wire.QueryParams{}, f2v)
-	report("SELF-JOIN SIZE (F2)", stats, err)
-	if err == nil {
-		res, rerr := f2v.Result()
-		check(rerr)
-		fmt.Printf("  F2 = %d\n", res)
-	}
+		// RANGE QUERY over a small window.
+		lo, hi := u/4, u/4+99
+		check(rqvs[r].SetQuery(lo, hi))
+		stats, err = client.Query(wire.QueryRangeQuery, wire.QueryParams{A: lo, B: hi}, rqvs[r])
+		report(fmt.Sprintf("RANGE QUERY [%d,%d]", lo, hi), stats, err)
+		if err == nil {
+			entries, rerr := rqvs[r].Result()
+			check(rerr)
+			fmt.Printf("  %d nonzero entries verified\n", len(entries))
+		}
 
-	// RANGE QUERY over a small window.
-	lo, hi := u/4, u/4+99
-	check(rqv.SetQuery(lo, hi))
-	stats, err = client.Query(wire.QueryRangeQuery, wire.QueryParams{A: lo, B: hi}, rqv)
-	report(fmt.Sprintf("RANGE QUERY [%d,%d]", lo, hi), stats, err)
-	if err == nil {
-		entries, rerr := rqv.Result()
-		check(rerr)
-		fmt.Printf("  %d nonzero entries verified\n", len(entries))
-	}
-
-	// HEAVY HITTERS.
-	phi := 0.001
-	check(hhv.SetQuery(phi))
-	stats, err = client.Query(wire.QueryHeavyHitters, wire.QueryParams{Phi: phi}, hhv)
-	report(fmt.Sprintf("HEAVY HITTERS (φ=%g)", phi), stats, err)
-	if err == nil {
-		hh, _, rerr := hhv.Result()
-		check(rerr)
-		fmt.Printf("  %d heavy hitters verified complete\n", len(hh))
+		// HEAVY HITTERS.
+		phi := 0.001
+		check(hhvs[r].SetQuery(phi))
+		stats, err = client.Query(wire.QueryHeavyHitters, wire.QueryParams{Phi: phi}, hhvs[r])
+		report(fmt.Sprintf("HEAVY HITTERS (φ=%g)", phi), stats, err)
+		if err == nil {
+			hh, _, rerr := hhvs[r].Result()
+			check(rerr)
+			fmt.Printf("  %d heavy hitters verified complete\n", len(hh))
+		}
+		fmt.Printf("round wall time: %v\n", time.Since(t0).Round(time.Millisecond))
 	}
 }
 

@@ -1,13 +1,20 @@
 // Command sipserver runs the untrusted "cloud" prover as a TCP service:
-// it ingests uploaded streams and answers verified queries (see
+// a dataset engine that ingests uploaded streams once into maintained
+// prover state and answers any number of verified queries over it (see
 // cmd/sipclient for the data-owner side).
 //
 //	sipserver -listen :7408
-//	sipserver -listen :7408 -cheat-drop 1   # dishonest cloud: drops the
-//	                                        # last update before proving
+//	sipserver -listen :7408 -idle-timeout 2m   # drop stalled clients
+//	sipserver -listen :7408 -cheat-drop 1      # dishonest cloud: drops the
+//	                                           # last update before proving
+//
+// Clients either keep a private per-connection dataset (the v1 flow) or
+// open named datasets shared across connections (sipclient -dataset):
+// many owners can ingest into and query one dataset concurrently, and
+// the Nth query costs no stream replay.
 //
 // The -cheat-drop flag exists to demonstrate, end to end over a real
-// socket, that a cheating cloud is caught: every client query against a
+// socket, that a cheating cloud is caught: every v1 query against a
 // doctored store is rejected.
 package main
 
@@ -17,7 +24,9 @@ import (
 	"log"
 	"net"
 	"runtime"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/stream"
 	"repro/internal/wire"
@@ -25,11 +34,26 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":7408", "address to listen on")
-	cheatDrop := flag.Int("cheat-drop", 0, "misbehave: drop this many trailing updates before proving")
+	cheatDrop := flag.Int("cheat-drop", 0, "misbehave: drop this many trailing updates before proving (v1 connections)")
 	workers := flag.Int("workers", runtime.NumCPU(), "prover worker-pool size (1 = serial)")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle for this long (0 = never)")
+	maxLogu := flag.Int("max-logu", 26, "largest log2 universe a client may open")
+	maxDatasets := flag.Int("max-datasets", wire.DefaultMaxDatasets, "cap on named datasets (each pins O(u) memory)")
 	flag.Parse()
+	if *maxLogu < 1 || *maxLogu > 61 {
+		log.Fatalf("-max-logu %d outside the supported range [1,61]", *maxLogu)
+	}
 
-	srv := &wire.Server{F: field.Mersenne(), Workers: *workers}
+	f := field.Mersenne()
+	eng := engine.New(f, *workers)
+	eng.SetMaxDatasets(*maxDatasets)
+	srv := &wire.Server{
+		F:           f,
+		Workers:     *workers,
+		Engine:      eng,
+		IdleTimeout: *idle,
+		MaxUniverse: uint64(1) << *maxLogu,
+	}
 	if *cheatDrop > 0 {
 		n := *cheatDrop
 		srv.Corrupt = func(ups []stream.Update) []stream.Update {
@@ -44,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("sipserver (p = 2^61-1) listening on %s", ln.Addr())
+	log.Printf("sipserver (p = 2^61-1) listening on %s; datasets persist across connections", ln.Addr())
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, wire.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
 	}

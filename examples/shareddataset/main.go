@@ -1,0 +1,122 @@
+// A multi-tenant proving service: several data owners feed one shared
+// dataset and each verifies queries over the union — the paper's cloud
+// deployment (§1) grown to the "ingest once, prove many" model.
+//
+// Three parties talk to one sipserver-style engine over real sockets:
+//
+//	uploader A   ingests the morning's event log into dataset "events"
+//	uploader B   ingests the afternoon's — a separate TCP connection
+//	auditor      attaches to "events" and runs verified F2, RANGE QUERY
+//	             and HEAVY HITTERS — twice, to show the second round of
+//	             queries costs the cloud no stream replay
+//
+// The auditor observed the full stream (that is the verifier's single
+// streaming pass); the cloud never re-ingests anything: every prover is
+// built from the dataset's maintained tables.
+//
+// Run with: go run ./examples/shareddataset
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
+	"repro/sip"
+)
+
+const (
+	u       = 1 << 14
+	perHalf = 30000
+	name    = "events"
+)
+
+func main() {
+	f := sip.Mersenne()
+
+	// The cloud: a wire server around a shared dataset engine.
+	srv := &wire.Server{F: f, Workers: -1, Engine: sip.NewEngine(f, -1), IdleTimeout: time.Minute}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// The day's events, split between two uploaders.
+	morning := stream.UnitIncrements(u, perHalf, sip.NewSeededRNG(41))
+	afternoon := stream.UnitIncrements(u, perHalf, sip.NewSeededRNG(42))
+	all := append(append([]sip.Update(nil), morning...), afternoon...)
+
+	for i, part := range [][]sip.Update{morning, afternoon} {
+		c, err := wire.Dial(addr)
+		must(err)
+		prior, err := c.OpenDataset(name, u)
+		must(err)
+		after, err := c.Ingest(part)
+		must(err)
+		fmt.Printf("uploader %c: dataset %q had %d updates, now %d\n", 'A'+i, name, prior, after)
+		c.Close()
+	}
+
+	// The auditor: observed the whole stream (O(log u) summaries only),
+	// attaches by name, and queries — twice.
+	auditor, err := wire.Dial(addr)
+	must(err)
+	defer auditor.Close()
+	count, err := auditor.OpenDataset(name, u)
+	must(err)
+	fmt.Printf("auditor: attached to %q with %d updates ingested by others\n\n", name, count)
+
+	for round := 1; round <= 2; round++ {
+		fmt.Printf("--- audit round %d (cloud replays nothing) ---\n", round)
+
+		f2proto, err := sip.NewSelfJoinSize(f, u)
+		must(err)
+		rqproto, err := sip.NewRangeQuery(f, u)
+		must(err)
+		hhproto, err := sip.NewHeavyHitters(f, u)
+		must(err)
+		rng := sip.NewCryptoRNG()
+		f2v := f2proto.NewVerifier(rng)
+		rqv := rqproto.NewVerifier(rng)
+		hhv := hhproto.NewVerifier(rng)
+		for _, up := range all {
+			must(f2v.Observe(up))
+			must(rqv.Observe(up))
+			must(hhv.Observe(up))
+		}
+
+		stats, err := auditor.Query(wire.QuerySelfJoinSize, wire.QueryParams{}, f2v)
+		must(err)
+		f2, err := f2v.Result()
+		must(err)
+		fmt.Printf("F2            = %-12d (%d proof bytes)\n", f2, stats.CommBytes())
+
+		lo, hi := uint64(100), uint64(199)
+		must(rqv.SetQuery(lo, hi))
+		stats, err = auditor.Query(wire.QueryRangeQuery, wire.QueryParams{A: lo, B: hi}, rqv)
+		must(err)
+		entries, err := rqv.Result()
+		must(err)
+		fmt.Printf("range [%d,%d] = %d nonzero entries verified (%d proof bytes)\n", lo, hi, len(entries), stats.CommBytes())
+
+		phi := 0.002
+		must(hhv.SetQuery(phi))
+		stats, err = auditor.Query(wire.QueryHeavyHitters, wire.QueryParams{Phi: phi}, hhv)
+		must(err)
+		hhs, threshold, err := hhv.Result()
+		must(err)
+		fmt.Printf("heavy hitters = %d items ≥ %d occurrences, completeness verified (%d proof bytes)\n\n",
+			len(hhs), threshold, stats.CommBytes())
+	}
+	fmt.Println("every answer verified; a cloud that dropped either uploader's data would be rejected")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -172,9 +172,10 @@ func (v *FkVerifier) SpaceWords() int {
 // (O(min(u,n)) space) and spends O(K·u) field operations across all
 // rounds (Appendix B.1).
 type FkProver struct {
-	proto *Fk
-	table []field.Elem
-	sc    *sumcheck.Prover
+	proto  *Fk
+	table  []field.Elem
+	shared bool
+	sc     *sumcheck.Prover
 }
 
 // NewProver returns a prover ready to observe updates.
@@ -182,8 +183,25 @@ func (p *Fk) NewProver() *FkProver {
 	return &FkProver{proto: p, table: make([]field.Elem, p.Params.U)}
 }
 
+// NewProverFromTable returns a prover over a prebuilt dense frequency
+// table (the field image of the counts, length Params.U), borrowed
+// read-only — typically a dataset-engine snapshot. Construction is O(1):
+// no stream is replayed, and the sum-check copies the table at Open, so
+// many sessions can share one snapshot. The transcript is bit-identical
+// to a streaming prover that observed any stream aggregating to the same
+// table.
+func (p *Fk) NewProverFromTable(table []field.Elem) (*FkProver, error) {
+	if uint64(len(table)) != p.Params.U {
+		return nil, fmt.Errorf("core: table has %d entries, want %d", len(table), p.Params.U)
+	}
+	return &FkProver{proto: p, table: table, shared: true}, nil
+}
+
 // Observe folds one stream update into the frequency vector.
 func (pr *FkProver) Observe(up stream.Update) error {
+	if pr.shared {
+		return fmt.Errorf("core: prover built from a snapshot cannot observe updates")
+	}
 	if up.Index >= pr.proto.Params.U {
 		return fmt.Errorf("core: index %d outside universe [0,%d)", up.Index, pr.proto.Params.U)
 	}
@@ -536,6 +554,7 @@ func (v *RangeSumVerifier) SignedResult() (int64, error) {
 type RangeSumProver struct {
 	proto    *RangeSum
 	table    []field.Elem
+	shared   bool
 	qL, qR   uint64
 	hasQuery bool
 	sc       *sumcheck.Prover
@@ -546,8 +565,20 @@ func (p *RangeSum) NewProver() *RangeSumProver {
 	return &RangeSumProver{proto: p, table: make([]field.Elem, p.Params.U)}
 }
 
+// NewProverFromTable returns a prover over a prebuilt dense key–value
+// table, borrowed read-only; see Fk.NewProverFromTable.
+func (p *RangeSum) NewProverFromTable(table []field.Elem) (*RangeSumProver, error) {
+	if uint64(len(table)) != p.Params.U {
+		return nil, fmt.Errorf("core: table has %d entries, want %d", len(table), p.Params.U)
+	}
+	return &RangeSumProver{proto: p, table: table, shared: true}, nil
+}
+
 // Observe folds one (key, value) pair.
 func (pr *RangeSumProver) Observe(up stream.Update) error {
+	if pr.shared {
+		return fmt.Errorf("core: prover built from a snapshot cannot observe updates")
+	}
 	if up.Index >= pr.proto.Params.U {
 		return fmt.Errorf("core: index %d outside universe [0,%d)", up.Index, pr.proto.Params.U)
 	}

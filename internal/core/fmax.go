@@ -187,6 +187,21 @@ func (p *Fmax) NewProver() *FmaxProver {
 	return &FmaxProver{proto: p, sv: p.SV.NewProver(), fb: p.FB.NewProver()}
 }
 
+// NewProverFromCounts returns a prover over a shared dense count table
+// with the given stream total Σδ (dataset-engine state); both composed
+// sub-provers borrow the same table and no stream is replayed.
+func (p *Fmax) NewProverFromCounts(counts []int64, total int64) (*FmaxProver, error) {
+	sv, err := p.SV.NewProverFromCounts(counts)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := p.FB.NewProverFromCounts(counts, total)
+	if err != nil {
+		return nil, err
+	}
+	return &FmaxProver{proto: p, sv: sv, fb: fb}, nil
+}
+
 // Observe records one stream update for both sub-provers.
 func (pr *FmaxProver) Observe(up stream.Update) error {
 	if err := pr.sv.Observe(up); err != nil {
@@ -198,15 +213,13 @@ func (pr *FmaxProver) Observe(up stream.Update) error {
 // Open finds the maximum frequency and its witness, then opens the INDEX
 // sub-conversation.
 func (pr *FmaxProver) Open() (Msg, error) {
-	agg := make(map[uint64]int64, len(pr.sv.updates))
-	for _, up := range pr.sv.updates {
-		agg[up.Index] += up.Delta
-	}
+	// Ascending scan: the witness is the smallest index achieving the
+	// maximum frequency, as before.
 	var witness uint64
 	var lb int64
-	for i, c := range agg {
-		if c > lb || (c == lb && c > 0 && i < witness) {
-			witness, lb = i, c
+	for i, c := range pr.sv.counts {
+		if c > lb {
+			witness, lb = uint64(i), c
 		}
 	}
 	if lb < 1 {

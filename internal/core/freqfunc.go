@@ -297,6 +297,18 @@ func (p *FrequencyBased) NewProver() *FrequencyBasedProver {
 	return &FrequencyBasedProver{proto: p, hh: hhProto.NewProver()}
 }
 
+// NewProverFromCounts returns a prover over a shared dense count table
+// with the given stream total Σδ (dataset-engine state); no stream is
+// replayed and the transcript matches the streaming prover's exactly.
+func (p *FrequencyBased) NewProverFromCounts(counts []int64, total int64) (*FrequencyBasedProver, error) {
+	hhProto := &HeavyHitters{F: p.F, Params: p.TreeParams, Workers: p.Workers}
+	hh, err := hhProto.NewProverFromCounts(counts, total)
+	if err != nil {
+		return nil, err
+	}
+	return &FrequencyBasedProver{proto: p, hh: hh}, nil
+}
+
 // SetH replaces the statistic (see FrequencyBasedVerifier.SetH).
 func (pr *FrequencyBasedProver) SetH(h func(int64) field.Elem) {
 	pr.proto = cloneFreqProto(pr.proto, h)
@@ -353,12 +365,11 @@ func (pr *FrequencyBasedProver) openSumcheck() (Msg, error) {
 		return Msg{}, fmt.Errorf("core: threshold %d exceeds supported degree %d", threshold, maxInterpolationDegree)
 	}
 	f := pr.proto.F
-	agg := make(map[uint64]int64)
-	for _, up := range pr.hh.updates {
-		agg[up.Index] += up.Delta
-	}
 	table := make([]field.Elem, pr.proto.LdeParams.U)
-	for i, c := range agg {
+	for i, c := range pr.hh.counts {
+		if c == 0 {
+			continue
+		}
 		if c < 0 {
 			return Msg{}, fmt.Errorf("core: frequency-based protocols require non-negative frequencies (index %d has %d)", i, c)
 		}

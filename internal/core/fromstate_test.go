@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/stream"
+)
+
+// The FromTable / FromCounts constructors let a dataset engine build
+// prover sessions from maintained aggregate state instead of stream
+// replay. These tests pin the core-level contract: identical transcripts
+// to the streaming path, strict length validation, and immutability of
+// the borrowed state. (The full per-kind transcript matrix lives in
+// internal/engine.)
+
+func TestFkProverFromTableMatchesStreaming(t *testing.T) {
+	f := field.Mersenne()
+	const u = 300
+	ups := stream.UniformDeltas(u, 50, field.NewSplitMix64(31))
+
+	proto, err := NewFk(f, u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := proto.NewProver()
+	table := make([]field.Elem, proto.Params.U)
+	for _, up := range ups {
+		if err := streamed.Observe(up); err != nil {
+			t.Fatal(err)
+		}
+		table[up.Index] = f.Add(table[up.Index], f.FromInt64(up.Delta))
+	}
+	shared, err := proto.NewProverFromTable(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, pr := range []*FkProver{streamed, shared} {
+		v := proto.NewVerifier(field.NewSplitMix64(32))
+		for _, up := range ups {
+			if err := v.Observe(up); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := Run(pr, v); err != nil {
+			t.Fatalf("prover %d rejected: %v", i, err)
+		}
+	}
+	if err := shared.Observe(stream.Update{Index: 0, Delta: 1}); err == nil {
+		t.Fatal("shared-table prover accepted an update")
+	}
+}
+
+func TestFromStateLengthValidation(t *testing.T) {
+	f := field.Mersenne()
+	const u = 128
+	short := make([]field.Elem, 7)
+	shortCounts := make([]int64, 7)
+
+	fk, err := NewFk(f, u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fk.NewProverFromTable(short); err == nil {
+		t.Error("Fk accepted a short table")
+	}
+	rs, err := NewRangeSum(f, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.NewProverFromTable(short); err == nil {
+		t.Error("RangeSum accepted a short table")
+	}
+	sv, err := NewSubVector(f, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.NewProverFromCounts(shortCounts); err == nil {
+		t.Error("SubVector accepted a short count table")
+	}
+	hh, err := NewHeavyHitters(f, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hh.NewProverFromCounts(shortCounts, 0); err == nil {
+		t.Error("HeavyHitters accepted a short count table")
+	}
+	fb, err := NewF0(f, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.NewProverFromCounts(shortCounts, 0); err == nil {
+		t.Error("FrequencyBased accepted a short count table")
+	}
+	fm, err := NewFmax(f, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.NewProverFromCounts(shortCounts, 0); err == nil {
+		t.Error("Fmax accepted a short count table")
+	}
+}
+
+func TestTreeProverFromCountsRefusesObserve(t *testing.T) {
+	f := field.Mersenne()
+	const u = 64
+	counts := make([]int64, u)
+	counts[3] = 2
+
+	sv, err := NewSubVector(f, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := sv.NewProverFromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Observe(stream.Update{Index: 1, Delta: 1}); err == nil {
+		t.Error("SubVector snapshot prover accepted an update")
+	}
+	hh, err := NewHeavyHitters(f, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpr, err := hh.NewProverFromCounts(counts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hpr.Observe(stream.Update{Index: 1, Delta: 1}); err == nil {
+		t.Error("HeavyHitters snapshot prover accepted an update")
+	}
+	if counts[1] != 0 {
+		t.Error("borrowed counts mutated")
+	}
+}

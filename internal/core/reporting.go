@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/field"
 	"repro/internal/stream"
@@ -296,7 +295,7 @@ func (pr *PredecessorProver) SetQuery(q uint64) error {
 // Open computes the true predecessor and opens the embedded sub-vector
 // conversation.
 func (pr *PredecessorProver) Open() (Msg, error) {
-	pred, found := scanExtreme(pr.sv.updates, func(i uint64) bool { return i <= pr.q }, true)
+	pred, found := scanExtreme(pr.sv.counts, func(i uint64) bool { return i <= pr.q }, true)
 	lo, claim := uint64(0), NoneSentinel
 	if found {
 		lo, claim = pred, pred
@@ -423,7 +422,7 @@ func (pr *SuccessorProver) SetQuery(q uint64) error {
 // Open computes the true successor and opens the embedded sub-vector
 // conversation.
 func (pr *SuccessorProver) Open() (Msg, error) {
-	succ, found := scanExtreme(pr.sv.updates, func(i uint64) bool { return i >= pr.q }, false)
+	succ, found := scanExtreme(pr.sv.counts, func(i uint64) bool { return i >= pr.q }, false)
 	hi, claim := pr.sv.proto.Params.U-1, NoneSentinel
 	if found {
 		hi, claim = succ, succ
@@ -441,21 +440,18 @@ func (pr *SuccessorProver) Open() (Msg, error) {
 // Step delegates to the embedded sub-vector conversation.
 func (pr *SuccessorProver) Step(challenge Msg) (Msg, error) { return pr.sv.Step(challenge) }
 
-// scanExtreme aggregates updates and returns the largest (wantMax) or
-// smallest matching nonzero index satisfying keep.
-func scanExtreme(updates []stream.Update, keep func(uint64) bool, wantMax bool) (uint64, bool) {
-	agg := make(map[uint64]int64, len(updates))
-	for _, u := range updates {
-		agg[u.Index] += u.Delta
-	}
+// scanExtreme returns the largest (wantMax) or smallest nonzero index of
+// the dense frequency table satisfying keep.
+func scanExtreme(counts []int64, keep func(uint64) bool, wantMax bool) (uint64, bool) {
 	var best uint64
 	found := false
-	for i, c := range agg {
-		if c == 0 || !keep(i) {
+	for i, c := range counts {
+		idx := uint64(i)
+		if c == 0 || !keep(idx) {
 			continue
 		}
-		if !found || (wantMax && i > best) || (!wantMax && i < best) {
-			best, found = i, true
+		if !found || (wantMax && idx > best) || (!wantMax && idx < best) {
+			best, found = idx, true
 		}
 	}
 	return best, found
@@ -575,21 +571,17 @@ func (pr *KLargestProver) Open() (Msg, error) {
 	if pr.k == 0 {
 		return Msg{}, fmt.Errorf("core: k-largest query not set")
 	}
-	agg := make(map[uint64]int64, len(pr.sv.updates))
-	for _, u := range pr.sv.updates {
-		agg[u.Index] += u.Delta
-	}
-	present := make([]uint64, 0, len(agg))
-	for i, c := range agg {
-		if c != 0 {
-			present = append(present, i)
+	var loc uint64
+	seen := 0
+	for i := len(pr.sv.counts) - 1; i >= 0 && seen < pr.k; i-- {
+		if pr.sv.counts[i] != 0 {
+			seen++
+			loc = uint64(i)
 		}
 	}
-	if len(present) < pr.k {
-		return Msg{}, fmt.Errorf("core: only %d distinct elements present, need %d", len(present), pr.k)
+	if seen < pr.k {
+		return Msg{}, fmt.Errorf("core: only %d distinct elements present, need %d", seen, pr.k)
 	}
-	sort.Slice(present, func(a, b int) bool { return present[a] > present[b] })
-	loc := present[pr.k-1]
 	if err := pr.sv.SetQuery(loc, pr.sv.proto.Params.U-1); err != nil {
 		return Msg{}, err
 	}
@@ -602,6 +594,58 @@ func (pr *KLargestProver) Open() (Msg, error) {
 
 // Step delegates to the embedded sub-vector conversation.
 func (pr *KLargestProver) Step(challenge Msg) (Msg, error) { return pr.sv.Step(challenge) }
+
+// ---------------------------------------------------------------------
+// Snapshot-backed proving
+//
+// Each specialization can also construct its prover from a dense count
+// table maintained elsewhere (a dataset-engine snapshot) instead of
+// observing the stream; see SubVector.NewProverFromCounts.
+
+// NewProverFromCounts returns an INDEX prover over a shared count table.
+func (p *Index) NewProverFromCounts(counts []int64) (*IndexProver, error) {
+	sv, err := p.sv.NewProverFromCounts(counts)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexProver{SubVectorProver: sv}, nil
+}
+
+// NewProverFromCounts returns a DICTIONARY prover over a shared count table.
+func (p *Dictionary) NewProverFromCounts(counts []int64) (*DictionaryProver, error) {
+	sv, err := p.sv.NewProverFromCounts(counts)
+	if err != nil {
+		return nil, err
+	}
+	return &DictionaryProver{SubVectorProver: sv}, nil
+}
+
+// NewProverFromCounts returns a PREDECESSOR prover over a shared count table.
+func (p *Predecessor) NewProverFromCounts(counts []int64) (*PredecessorProver, error) {
+	sv, err := p.sv.NewProverFromCounts(counts)
+	if err != nil {
+		return nil, err
+	}
+	return &PredecessorProver{sv: sv}, nil
+}
+
+// NewProverFromCounts returns a SUCCESSOR prover over a shared count table.
+func (p *Successor) NewProverFromCounts(counts []int64) (*SuccessorProver, error) {
+	sv, err := p.sv.NewProverFromCounts(counts)
+	if err != nil {
+		return nil, err
+	}
+	return &SuccessorProver{sv: sv}, nil
+}
+
+// NewProverFromCounts returns a k-LARGEST prover over a shared count table.
+func (p *KLargest) NewProverFromCounts(counts []int64) (*KLargestProver, error) {
+	sv, err := p.sv.NewProverFromCounts(counts)
+	if err != nil {
+		return nil, err
+	}
+	return &KLargestProver{sv: sv}, nil
+}
 
 // ---------------------------------------------------------------------
 // Parallel proving

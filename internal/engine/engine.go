@@ -1,0 +1,313 @@
+// Package engine is the persistent dataset layer of the prover service:
+// ingest once, prove many.
+//
+// The paper's deployment model (§1) is a cloud that holds the data and
+// answers many verified queries over it, with the stream pass happening
+// once, as the owner uploads. The session machinery in internal/core is
+// deliberately per-conversation; before this package existed the server
+// re-played the entire stored stream through Observe for every query, so
+// k queries cost k full re-ingestions and no two connections could share
+// a dataset.
+//
+// A Dataset instead maintains the aggregate state every prover kind is a
+// cheap function of:
+//
+//   - counts: the dense frequency vector a (int64 per entry) — the
+//     hash-tree provers (SUB-VECTOR and friends, HEAVY HITTERS) and the
+//     frequency-based provers (F0, Fmax) build their leaves/residual
+//     tables from it;
+//   - elems: the field image of a — the sum-check provers (Fk,
+//     RANGE-SUM) take it as their table directly;
+//   - total: Σδ, the stream length n for the heavy-hitters threshold φn.
+//
+// Updates are ingested in batches, once, through a sharded scatter
+// kernel; Snapshot hands out an immutable view in O(1) (copy-on-write:
+// the next ingest after a snapshot clones the tables, so readers never
+// block ingestion and never observe a torn state). Snapshot.NewProver
+// constructs the prover session for any QueryKind from that view without
+// touching the raw stream — the engine does not even retain it.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/field"
+	"repro/internal/lde"
+	"repro/internal/parallel"
+	"repro/internal/stream"
+)
+
+// Engine is a registry of named datasets sharing one field and worker
+// budget — the multi-tenant state of a prover server. All methods are
+// safe for concurrent use.
+type Engine struct {
+	f       field.Field
+	workers int
+
+	mu          sync.RWMutex
+	datasets    map[string]*Dataset
+	maxDatasets int
+}
+
+// New returns an empty engine. workers is handed to every prover built
+// from its datasets (0 serial, n < 0 all cores; see parallel.Workers).
+func New(f field.Field, workers int) *Engine {
+	return &Engine{f: f, workers: workers, datasets: make(map[string]*Dataset)}
+}
+
+// SetMaxDatasets caps how many datasets Open will create (0 = no cap).
+// Each dataset pins O(u) memory forever, so a server exposed to
+// untrusted clients should set a cap.
+func (e *Engine) SetMaxDatasets(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.maxDatasets = n
+}
+
+// Open returns the named dataset, creating it (over a universe of size
+// ≥ u) on first open. Re-opening attaches to the existing dataset; the
+// requested universe must match the one it was created with, since the
+// verifier's summaries are parameterized by it.
+func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: empty dataset name")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ds, ok := e.datasets[name]; ok {
+		if ds.origU != u {
+			return nil, fmt.Errorf("engine: dataset %q has universe %d, not %d", name, ds.origU, u)
+		}
+		return ds, nil
+	}
+	if e.maxDatasets > 0 && len(e.datasets) >= e.maxDatasets {
+		return nil, fmt.Errorf("engine: dataset limit of %d reached", e.maxDatasets)
+	}
+	ds, err := NewDataset(e.f, u, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	ds.name = name
+	e.datasets[name] = ds
+	return ds, nil
+}
+
+// Get returns the named dataset if it exists.
+func (e *Engine) Get(name string) (*Dataset, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ds, ok := e.datasets[name]
+	return ds, ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.datasets))
+	for n := range e.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes the named dataset from the registry. Snapshots already
+// taken stay valid (they hold immutable state).
+func (e *Engine) Drop(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.datasets, name)
+}
+
+// ---------------------------------------------------------------------
+
+// tableState is one immutable-once-sealed version of a dataset's
+// aggregate state. While unsealed it is mutated in place by ingestion;
+// Snapshot seals it, and the next ingest clones it (copy-on-write).
+type tableState struct {
+	counts []int64
+	elems  []field.Elem
+	total  int64
+	n      uint64 // updates ingested
+	sealed bool
+}
+
+func (st *tableState) clone() *tableState {
+	return &tableState{
+		counts: append([]int64(nil), st.counts...),
+		elems:  append([]field.Elem(nil), st.elems...),
+		total:  st.total,
+		n:      st.n,
+	}
+}
+
+// Dataset is one named, persistently maintained frequency vector.
+// Ingestion and snapshotting are safe for concurrent use from many
+// connections.
+type Dataset struct {
+	name    string
+	f       field.Field
+	params  lde.Params // ℓ=2, universe padded to 2^d ≥ origU
+	origU   uint64     // universe size as requested (protocols are built with it)
+	workers int
+
+	mu   sync.Mutex
+	head *tableState
+}
+
+// NewDataset returns a standalone (unnamed) dataset over a universe of
+// size ≥ u — the per-connection store of the v1 wire protocol, and the
+// building block Engine.Open registers under a name.
+func NewDataset(f field.Field, u uint64, workers int) (*Dataset, error) {
+	params, err := lde.ParamsForUniverse(u, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		f:       f,
+		params:  params,
+		origU:   u,
+		workers: workers,
+		head: &tableState{
+			counts: make([]int64, params.U),
+			elems:  make([]field.Elem, params.U),
+		},
+	}, nil
+}
+
+// Name returns the dataset's registry name ("" for standalone datasets).
+func (d *Dataset) Name() string { return d.name }
+
+// UniverseSize returns the universe the dataset was created over (before
+// padding to a power of two).
+func (d *Dataset) UniverseSize() uint64 { return d.origU }
+
+// Updates returns how many stream updates have been ingested.
+func (d *Dataset) Updates() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.head.n
+}
+
+// minShardBatch is the batch size below which the sharded scatter is not
+// worth its per-worker pass over the batch.
+const minShardBatch = 1 << 13
+
+// Ingest folds a batch of updates into the maintained state. Either the
+// whole batch is applied or, when any index is out of range, none of it.
+func (d *Dataset) Ingest(ups []stream.Update) error {
+	idx := make([]uint64, len(ups))
+	deltas := make([]int64, len(ups))
+	for i, up := range ups {
+		idx[i], deltas[i] = up.Index, up.Delta
+	}
+	return d.IngestColumns(idx, deltas)
+}
+
+// IngestColumns is Ingest over parallel index/delta columns (the wire
+// layer decodes straight into this shape). Large batches are applied
+// through a sharded scatter: a stable O(n) counting sort groups update
+// positions by contiguous index shard, then each worker applies one
+// shard's updates in batch order. No two workers touch the same entry
+// and per-index application order is preserved, so the result is
+// identical to the serial left-to-right application for every worker
+// count.
+func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
+	if len(idx) != len(deltas) {
+		return fmt.Errorf("engine: batch has %d indices but %d deltas", len(idx), len(deltas))
+	}
+	u := d.params.U
+	for _, i := range idx {
+		if i >= u {
+			return fmt.Errorf("engine: index %d outside universe [0,%d)", i, u)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.head
+	if st.sealed {
+		st = st.clone()
+		d.head = st
+	}
+	f := d.f
+	apply := func(k int) {
+		i := idx[k]
+		st.counts[i] += deltas[k]
+		st.elems[i] = f.Add(st.elems[i], f.FromInt64(deltas[k]))
+	}
+	nw := parallel.Workers(d.workers)
+	if nw > 1 && len(idx) >= minShardBatch {
+		// Index i belongs to shard i/width; equal-width shards keep the
+		// shard computation overflow-free for any supported universe.
+		width := (u + uint64(nw) - 1) / uint64(nw)
+		shard := make([]int32, len(idx))
+		count := make([]int, nw)
+		for k, i := range idx {
+			s := int32(i / width)
+			shard[k] = s
+			count[s]++
+		}
+		start := make([]int, nw+1)
+		for s := 0; s < nw; s++ {
+			start[s+1] = start[s] + count[s]
+		}
+		pos := make([]int, len(idx))
+		next := append([]int(nil), start[:nw]...)
+		for k := range idx {
+			s := shard[k]
+			pos[next[s]] = k
+			next[s]++
+		}
+		parallel.ForGrain(nw, nw, 1, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				for _, k := range pos[start[s]:start[s+1]] {
+					apply(k)
+				}
+			}
+		})
+	} else {
+		for k := range idx {
+			apply(k)
+		}
+	}
+	for _, dl := range deltas {
+		st.total += dl
+	}
+	st.n += uint64(len(idx))
+	return nil
+}
+
+// Snapshot returns an immutable view of the current state in O(1). The
+// snapshot stays valid — and bit-stable — while ingestion continues; the
+// first ingest after a snapshot pays one O(u) table copy.
+func (d *Dataset) Snapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.head.sealed = true
+	return &Snapshot{ds: d, st: d.head}
+}
+
+// Snapshot is a frozen view of a dataset: the aggregate state all prover
+// sessions for that epoch are built from. It is immutable and safe to
+// share across goroutines.
+type Snapshot struct {
+	ds *Dataset
+	st *tableState
+}
+
+// Counts returns the dense frequency vector. Read-only: callers must not
+// modify it.
+func (s *Snapshot) Counts() []int64 { return s.st.counts }
+
+// Elems returns the field image of the frequency vector. Read-only.
+func (s *Snapshot) Elems() []field.Elem { return s.st.elems }
+
+// Total returns Σδ over the ingested stream (the length n of an
+// insert-only stream).
+func (s *Snapshot) Total() int64 { return s.st.total }
+
+// Updates returns how many stream updates the snapshot reflects.
+func (s *Snapshot) Updates() uint64 { return s.st.n }

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// QueryKind enumerates the queries a dataset answers. It is defined here
+// (rather than in the wire layer) because prover construction is an
+// engine concern; package wire aliases these for its frame encoding.
+type QueryKind uint8
+
+// The query kinds.
+const (
+	QuerySelfJoinSize QueryKind = iota + 1
+	QueryFk
+	QueryRangeSum
+	QueryRangeQuery
+	QueryIndex
+	QueryDictionary
+	QueryPredecessor
+	QuerySuccessor
+	QueryKLargest
+	QueryHeavyHitters
+	QueryF0
+	QueryFmax
+)
+
+// QueryParams carries the per-kind parameters; unused fields are zero.
+type QueryParams struct {
+	A, B uint64  // range bounds / point / key
+	K    int64   // moment order or k-largest rank
+	Phi  float64 // heavy-hitter fraction
+}
+
+// NewProver constructs the prover session for one query over the
+// snapshot's maintained state. No stream is replayed: the sum-check
+// provers borrow the field table, the tree provers borrow the count
+// table, and the heavy-hitters threshold comes from the maintained Σδ.
+// The resulting conversation transcript is bit-identical to a prover
+// that observed the original stream update by update (crosschecked in
+// the package tests), for every worker count.
+func (s *Snapshot) NewProver(kind QueryKind, params QueryParams) (core.ProverSession, error) {
+	f, u, workers := s.ds.f, s.ds.origU, s.ds.workers
+	switch kind {
+	case QuerySelfJoinSize, QueryFk:
+		k := 2
+		if kind == QueryFk {
+			k = int(params.K)
+		}
+		proto, err := core.NewFk(f, u, k)
+		if err != nil {
+			return nil, err
+		}
+		proto.Workers = workers
+		return proto.NewProverFromTable(s.st.elems)
+	case QueryRangeSum:
+		proto, err := core.NewRangeSum(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.Workers = workers
+		p, err := proto.NewProverFromTable(s.st.elems)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A, params.B)
+	case QueryRangeQuery:
+		proto, err := core.NewRangeQuery(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.Workers = workers
+		p, err := proto.NewProverFromCounts(s.st.counts)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A, params.B)
+	case QueryIndex:
+		proto, err := core.NewIndex(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.SetWorkers(workers)
+		p, err := proto.NewProverFromCounts(s.st.counts)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QueryDictionary:
+		proto, err := core.NewDictionary(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.SetWorkers(workers)
+		p, err := proto.NewProverFromCounts(s.st.counts)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QueryPredecessor:
+		proto, err := core.NewPredecessor(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.SetWorkers(workers)
+		p, err := proto.NewProverFromCounts(s.st.counts)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QuerySuccessor:
+		proto, err := core.NewSuccessor(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.SetWorkers(workers)
+		p, err := proto.NewProverFromCounts(s.st.counts)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.A)
+	case QueryKLargest:
+		proto, err := core.NewKLargest(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.SetWorkers(workers)
+		p, err := proto.NewProverFromCounts(s.st.counts)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(int(params.K))
+	case QueryHeavyHitters:
+		proto, err := core.NewHeavyHitters(f, u)
+		if err != nil {
+			return nil, err
+		}
+		proto.Workers = workers
+		p, err := proto.NewProverFromCounts(s.st.counts, s.st.total)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.SetQuery(params.Phi)
+	case QueryF0:
+		proto, err := core.NewF0(f, u, params.Phi)
+		if err != nil {
+			return nil, err
+		}
+		proto.Workers = workers
+		return proto.NewProverFromCounts(s.st.counts, s.st.total)
+	case QueryFmax:
+		proto, err := core.NewFmax(f, u, params.Phi)
+		if err != nil {
+			return nil, err
+		}
+		proto.SetWorkers(workers)
+		return proto.NewProverFromCounts(s.st.counts, s.st.total)
+	default:
+		return nil, fmt.Errorf("engine: unknown query kind %d", kind)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ccm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/lde"
 	"repro/internal/stream"
@@ -257,6 +258,100 @@ func rate(n int, d time.Duration) float64 {
 		return 0
 	}
 	return float64(n) / d.Seconds()
+}
+
+// ---------------------------------------------------------------------
+// Amortization experiment (ingest once, prove many)
+//
+// The dataset engine's pitch is that the prover's stream pass is paid
+// once, not per query. This experiment measures it: the per-query setup
+// cost of the old stream-replay path versus constructing provers from a
+// maintained dataset snapshot, with the conversation cost (identical
+// transcripts either way) reported separately.
+
+// AmortizedRow is one data point of the ingest-once/prove-many
+// experiment.
+type AmortizedRow struct {
+	U       uint64
+	N       uint64
+	Queries int
+	// IngestOnce is the one-time cost of folding the stream into the
+	// dataset's maintained state (batched).
+	IngestOnce time.Duration
+	// ReplaySetup is the per-query prover construction cost of the old
+	// path: a fresh session fed the whole stream through Observe.
+	ReplaySetup time.Duration
+	// SnapshotSetup is the per-query construction cost from a dataset
+	// snapshot, averaged over all queries (no stream is replayed).
+	SnapshotSetup time.Duration
+	// ProveTime is the mean per-query conversation cost of the snapshot
+	// provers (the same work the replay provers do once constructed).
+	ProveTime time.Duration
+	Accepted  bool
+}
+
+// AmortizedF2 ingests a unit-increment stream of length n over [0, u)
+// into a dataset once, then runs the F2 query `queries` times from
+// snapshots, verifying each conversation. It also measures the replay
+// baseline a per-query rebuild would pay. workers is the prover fan-out.
+func AmortizedF2(f field.Field, u uint64, n, queries int, seed uint64, workers int) (AmortizedRow, error) {
+	row := AmortizedRow{U: u, N: uint64(n), Queries: queries}
+	if queries < 1 {
+		return row, fmt.Errorf("harness: need at least one query")
+	}
+	ups := stream.UnitIncrements(u, n, field.NewSplitMix64(seed))
+
+	proto, err := core.NewSelfJoinSize(f, u)
+	if err != nil {
+		return row, err
+	}
+	proto.Workers = workers
+
+	// Replay baseline: what every query used to cost before proving began.
+	t0 := time.Now()
+	replay := proto.NewProver()
+	for _, up := range ups {
+		if err := replay.Observe(up); err != nil {
+			return row, err
+		}
+	}
+	row.ReplaySetup = time.Since(t0)
+
+	// Ingest once into the dataset.
+	ds, err := engine.NewDataset(f, u, workers)
+	if err != nil {
+		return row, err
+	}
+	t0 = time.Now()
+	if err := ds.Ingest(ups); err != nil {
+		return row, err
+	}
+	row.IngestOnce = time.Since(t0)
+
+	// N queries, each a fresh snapshot prover (snapshots are O(1) between
+	// ingests; construction borrows the maintained table).
+	var setup, prove time.Duration
+	for q := 0; q < queries; q++ {
+		v := proto.NewVerifier(field.NewSplitMix64(seed + 1 + uint64(q)))
+		if err := v.ObserveBatch(ups, workers); err != nil {
+			return row, err
+		}
+		t0 = time.Now()
+		p, err := ds.Snapshot().NewProver(engine.QuerySelfJoinSize, engine.QueryParams{})
+		if err != nil {
+			return row, err
+		}
+		setup += time.Since(t0)
+		tp := &timedProver{inner: p}
+		if _, err := core.Run(tp, v); err != nil {
+			return row, err
+		}
+		prove += tp.elapsed
+	}
+	row.SnapshotSetup = setup / time.Duration(queries)
+	row.ProveTime = prove / time.Duration(queries)
+	row.Accepted = true
+	return row, nil
 }
 
 // ---------------------------------------------------------------------

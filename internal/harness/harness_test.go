@@ -172,3 +172,22 @@ func TestIPv6Extrapolate(t *testing.T) {
 		t.Errorf("estimate %.0f s outside expected band", est.EstimatedSeconds)
 	}
 }
+
+func TestAmortizedF2(t *testing.T) {
+	row, err := AmortizedF2(f61, 1<<10, 1<<12, 3, 55, 0)
+	if err != nil {
+		t.Fatalf("amortized run errored: %v", err)
+	}
+	if !row.Accepted {
+		t.Fatal("honest run not accepted")
+	}
+	if row.Queries != 3 || row.N != 1<<12 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.SnapshotSetup <= 0 || row.ReplaySetup <= 0 || row.IngestOnce <= 0 {
+		t.Errorf("missing timings: %+v", row)
+	}
+	if _, err := AmortizedF2(f61, 1<<10, 1<<12, 0, 55, 0); err == nil {
+		t.Error("zero queries accepted")
+	}
+}

@@ -55,6 +55,31 @@ func NewIncremental(f field.Field, params Params, kind Kind, updates []stream.Up
 		leaves = append(leaves, Node{Index: i, Hash: f.FromInt64(c), Count: c})
 	}
 	sort.Slice(leaves, func(a, b int) bool { return leaves[a].Index < leaves[b].Index })
+	return newFromLeaves(f, params, kind, leaves), nil
+}
+
+// NewIncrementalFromCounts builds the same tree from a dense frequency
+// table (length params.U) instead of a raw update stream: the leaves are
+// the nonzero entries in index order, exactly what NewIncremental derives
+// by aggregating the stream, so the two constructors produce identical
+// trees for the same aggregate state. This is the entry point for provers
+// built from maintained dataset state rather than stream replay.
+func NewIncrementalFromCounts(f field.Field, params Params, kind Kind, counts []int64) (*IncrementalTree, error) {
+	if uint64(len(counts)) != params.U {
+		return nil, fmt.Errorf("hashtree: count table has %d entries, want %d", len(counts), params.U)
+	}
+	var leaves []Node
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		leaves = append(leaves, Node{Index: uint64(i), Hash: f.FromInt64(c), Count: c})
+	}
+	return newFromLeaves(f, params, kind, leaves), nil
+}
+
+// newFromLeaves builds the count skeleton above sorted nonzero leaves.
+func newFromLeaves(f field.Field, params Params, kind Kind, leaves []Node) *IncrementalTree {
 	t := &IncrementalTree{F: f, Params: params, Kind: kind, levels: make([][]Node, params.D+1)}
 	t.levels[0] = leaves
 	for j := 1; j <= params.D; j++ {
@@ -70,7 +95,7 @@ func NewIncremental(f field.Field, params Params, kind Kind, updates []stream.Up
 		}
 		t.levels[j] = cur
 	}
-	return t, nil
+	return t
 }
 
 // BuiltLevels returns how many levels above the leaves have hashes.

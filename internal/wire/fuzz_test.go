@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// The codec invariants under test: decoders never panic on arbitrary
+// bytes, a successful decode re-encodes to the identical bytes (the
+// formats have no slack), and encode→decode is the identity.
+
+func FuzzDecodeMsg(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeMsg(core.Msg{}))
+	f.Add(encodeMsg(core.Msg{Ints: []uint64{1, 2}, Elems: []field.Elem{3}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := decodeMsg(b)
+		if err != nil {
+			return
+		}
+		if got := encodeMsg(m); !bytes.Equal(got, b) {
+			t.Fatalf("re-encode of a valid message differs: %x vs %x", got, b)
+		}
+	})
+}
+
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeQuery(QuerySelfJoinSize, QueryParams{}))
+	f.Add(encodeQuery(QueryHeavyHitters, QueryParams{A: 1, B: 2, K: -3, Phi: 0.5}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		kind, params, err := decodeQuery(b)
+		if err != nil {
+			return
+		}
+		if got := encodeQuery(kind, params); !bytes.Equal(got, b) {
+			t.Fatalf("re-encode of a valid query differs: %x vs %x", got, b)
+		}
+	})
+}
+
+func FuzzDecodeOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeOpen("d", 64))
+	f.Add(encodeOpen("a-long-dataset-name", 1<<20))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		name, u, err := decodeOpen(b)
+		if err != nil {
+			return
+		}
+		if len(name) == 0 || len(name) > maxDatasetName {
+			t.Fatalf("decodeOpen accepted a %d-byte name", len(name))
+		}
+		if got := encodeOpen(name, u); !bytes.Equal(got, b) {
+			t.Fatalf("re-encode of a valid open frame differs: %x vs %x", got, b)
+		}
+	})
+}
+
+// TestMsgPropertyRoundTrip drives the message codec with generated
+// shapes, including empty and large sections.
+func TestMsgPropertyRoundTrip(t *testing.T) {
+	rng := field.NewSplitMix64(123)
+	for trial := 0; trial < 200; trial++ {
+		nInts := int(rng.Uint64() % 17)
+		nElems := int(rng.Uint64() % 17)
+		var m core.Msg
+		for i := 0; i < nInts; i++ {
+			m.Ints = append(m.Ints, rng.Uint64())
+		}
+		for i := 0; i < nElems; i++ {
+			m.Elems = append(m.Elems, field.Elem(rng.Uint64()))
+		}
+		got, err := decodeMsg(encodeMsg(m))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got.Ints) != nInts || len(got.Elems) != nElems {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i := range m.Ints {
+			if got.Ints[i] != m.Ints[i] {
+				t.Fatalf("trial %d: int %d", trial, i)
+			}
+		}
+		for i := range m.Elems {
+			if got.Elems[i] != m.Elems[i] {
+				t.Fatalf("trial %d: elem %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestQueryPropertyRoundTrip covers every kind and awkward parameter
+// values (negative K, tiny and non-finite Phi).
+func TestQueryPropertyRoundTrip(t *testing.T) {
+	kinds := []QueryKind{
+		QuerySelfJoinSize, QueryFk, QueryRangeSum, QueryRangeQuery,
+		QueryIndex, QueryDictionary, QueryPredecessor, QuerySuccessor,
+		QueryKLargest, QueryHeavyHitters, QueryF0, QueryFmax,
+	}
+	phis := []float64{0, 0.001, 0.5, 1, math.SmallestNonzeroFloat64, math.Inf(1)}
+	rng := field.NewSplitMix64(321)
+	for _, kind := range kinds {
+		for _, phi := range phis {
+			p := QueryParams{A: rng.Uint64(), B: rng.Uint64(), K: -int64(rng.Uint64() % 100), Phi: phi}
+			gk, gp, err := decodeQuery(encodeQuery(kind, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gk != kind || gp != p {
+				t.Fatalf("roundtrip %v %+v = %v %+v", kind, p, gk, gp)
+			}
+		}
+	}
+}
+
+// TestOpenRoundTrip covers the v2 open frame and the count ack.
+func TestOpenRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		u    uint64
+	}{
+		{"a", 1},
+		{"metrics", 1 << 20},
+		{"日本語-dataset", 1 << 61},
+	} {
+		name, u, err := decodeOpen(encodeOpen(tc.name, tc.u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != tc.name || u != tc.u {
+			t.Fatalf("roundtrip (%q,%d) = (%q,%d)", tc.name, tc.u, name, u)
+		}
+	}
+	if _, _, err := decodeOpen(encodeCount(7)); err == nil {
+		t.Error("open frame with no name accepted")
+	}
+	for _, n := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		got, err := decodeCount(encodeCount(n))
+		if err != nil || got != n {
+			t.Fatalf("count roundtrip %d = %d, %v", n, got, err)
+		}
+	}
+	if _, err := decodeCount([]byte{1, 2}); err == nil {
+		t.Error("short count frame accepted")
+	}
+}

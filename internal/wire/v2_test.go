@@ -1,0 +1,662 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/stream"
+)
+
+// startServerOpts runs a Server with the given extras on a loopback
+// listener.
+func startServerOpts(t *testing.T, srv *Server) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }
+}
+
+// TestSharedDatasetAcrossConnections: two connections ingest halves of a
+// stream into one named dataset; a third attaches and verifies queries
+// over the union — no connection ever re-uploads what another sent.
+func TestSharedDatasetAcrossConnections(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61})
+	defer stop()
+
+	const u = 1 << 10
+	ups := stream.UniformDeltas(u, 100, field.NewSplitMix64(70))
+	half := len(ups) / 2
+
+	for i, part := range [][]stream.Update{ups[:half], ups[half:]} {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, err := c.OpenDataset("metrics", u)
+		if err != nil {
+			t.Fatalf("uploader %d: open: %v", i, err)
+		}
+		if int(count) != i*half {
+			t.Fatalf("uploader %d saw %d prior updates, want %d", i, count, i*half)
+		}
+		after, err := c.Ingest(part)
+		if err != nil {
+			t.Fatalf("uploader %d: ingest: %v", i, err)
+		}
+		if int(after) != (i+1)*half {
+			t.Fatalf("uploader %d: count after ingest = %d", i, after)
+		}
+		c.Close()
+	}
+
+	// The querier observed the full stream locally (the single verifier
+	// pass) and attaches to the same dataset by name.
+	q, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	count, err := q.OpenDataset("metrics", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count) != len(ups) {
+		t.Fatalf("querier saw %d updates, want %d", count, len(ups))
+	}
+
+	f2proto, err := core.NewSelfJoinSize(f61, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2v := f2proto.NewVerifier(field.NewSplitMix64(71))
+	rqproto, err := core.NewRangeQuery(f61, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rqv := rqproto.NewVerifier(field.NewSplitMix64(72))
+	for _, up := range ups {
+		if err := f2v.Observe(up); err != nil {
+			t.Fatal(err)
+		}
+		if err := rqv.Observe(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Query(QuerySelfJoinSize, QueryParams{}, f2v); err != nil {
+		t.Fatalf("F2 over shared dataset rejected: %v", err)
+	}
+	got, err := f2v.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := stream.Apply(ups, u)
+	var want field.Elem
+	for _, v := range a {
+		e := f61.FromInt64(v)
+		want = f61.Add(want, f61.Mul(e, e))
+	}
+	if got != want {
+		t.Fatalf("F2 = %d, want %d", got, want)
+	}
+
+	// Ingestion continues between queries on the same connection.
+	extra := stream.UnitIncrements(u, 500, field.NewSplitMix64(73))
+	if _, err := q.Ingest(extra); err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range extra {
+		if err := rqv.Observe(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rqv.SetQuery(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Query(QueryRangeQuery, QueryParams{A: 0, B: 99}, rqv); err != nil {
+		t.Fatalf("range query after further ingestion rejected: %v", err)
+	}
+}
+
+// TestConcurrentSharedDataset runs ≥4 clients ingesting disjoint shards
+// of one stream into a single named dataset concurrently, then querying
+// it concurrently — the multi-tenant serving path under -race.
+func TestConcurrentSharedDataset(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61, Workers: -1})
+	defer stop()
+
+	const (
+		clients = 4
+		u       = 1 << 11
+	)
+	ups := stream.UniformDeltas(u, 50, field.NewSplitMix64(80))
+	shard := len(ups) / clients
+
+	// Phase 1: concurrent ingestion of disjoint shards.
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			if _, err := cl.OpenDataset("shared", u); err != nil {
+				errs <- fmt.Errorf("client %d: open: %w", c, err)
+				return
+			}
+			lo, hi := c*shard, (c+1)*shard
+			if c == clients-1 {
+				hi = len(ups)
+			}
+			if _, err := cl.Ingest(ups[lo:hi]); err != nil {
+				errs <- fmt.Errorf("client %d: ingest: %w", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Phase 2: concurrent queries against the complete dataset.
+	a, _ := stream.Apply(ups, u)
+	var wantF2 field.Elem
+	for _, v := range a {
+		e := f61.FromInt64(v)
+		wantF2 = f61.Add(wantF2, f61.Mul(e, e))
+	}
+	errs = make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			count, err := cl.OpenDataset("shared", u)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int(count) != len(ups) {
+				errs <- fmt.Errorf("client %d: dataset has %d updates, want %d", c, count, len(ups))
+				return
+			}
+			proto, err := core.NewSelfJoinSize(f61, u)
+			if err != nil {
+				errs <- err
+				return
+			}
+			v := proto.NewVerifier(field.NewSplitMix64(uint64(500 + c)))
+			for _, up := range ups {
+				if err := v.Observe(up); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := cl.Query(QuerySelfJoinSize, QueryParams{}, v); err != nil {
+				errs <- fmt.Errorf("client %d: rejected: %w", c, err)
+				return
+			}
+			got, err := v.Result()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != wantF2 {
+				errs <- fmt.Errorf("client %d: F2 = %d, want %d", c, got, wantF2)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestOpenUniverseMismatch: attaching with the wrong universe is refused.
+func TestOpenUniverseMismatch(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61})
+	defer stop()
+
+	a, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.OpenDataset("d", 1<<8); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.OpenDataset("d", 1<<9); err == nil || !strings.Contains(err.Error(), "universe") {
+		t.Fatalf("universe mismatch not refused: %v", err)
+	}
+	if _, err := a.OpenDataset("", 1<<8); err == nil {
+		t.Error("empty dataset name accepted client-side")
+	}
+}
+
+// TestServerEngineSharedAcrossListeners: one engine serves the same
+// datasets through two servers.
+func TestServerEngineSharedAcrossListeners(t *testing.T) {
+	eng := engine.New(f61, 0)
+	addr1, stop1 := startServerOpts(t, &Server{F: f61, Engine: eng})
+	defer stop1()
+	addr2, stop2 := startServerOpts(t, &Server{F: f61, Engine: eng})
+	defer stop2()
+
+	const u = 1 << 8
+	ups := stream.UnitIncrements(u, 200, field.NewSplitMix64(90))
+	c1, err := Dial(addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.OpenDataset("x", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	count, err := c2.OpenDataset("x", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count) != len(ups) {
+		t.Fatalf("second listener sees %d updates, want %d", count, len(ups))
+	}
+}
+
+// rawConn sends hand-built frames to probe the server's state machine.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{t: t, conn: conn}
+}
+
+func (r *rawConn) send(typ byte, payload []byte) {
+	r.t.Helper()
+	if err := writeFrame(r.conn, typ, payload); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// expectError reads frames until a frameError arrives (acks are skipped),
+// then confirms the connection closes.
+func (r *rawConn) expectError(context string) {
+	r.t.Helper()
+	_ = r.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		typ, _, err := readFrame(r.conn)
+		if err != nil {
+			r.t.Fatalf("%s: connection died before an error frame: %v", context, err)
+		}
+		if typ == frameError {
+			break
+		}
+		if typ != frameOK {
+			r.t.Fatalf("%s: unexpected frame 0x%02x", context, typ)
+		}
+	}
+	if _, _, err := readFrame(r.conn); err == nil {
+		r.t.Fatalf("%s: server kept the connection after a protocol error", context)
+	}
+}
+
+func helloPayload(u uint64) []byte { return encodeCount(u) }
+
+// TestFrameStateMachine: out-of-order frames are rejected with an error
+// frame instead of being silently accepted.
+func TestFrameStateMachine(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61})
+	defer stop()
+
+	oneUpdate := encodeUpdates([]stream.Update{{Index: 1, Delta: 1}})
+
+	t.Run("second hello", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameHello, helloPayload(64))
+		rc.send(frameHello, helloPayload(64))
+		rc.expectError("hello after hello")
+	})
+	t.Run("hello after updates", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameHello, helloPayload(64))
+		rc.send(frameUpdates, oneUpdate)
+		rc.send(frameHello, helloPayload(64))
+		rc.expectError("hello mid-stream")
+	})
+	t.Run("updates after end of stream", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameHello, helloPayload(64))
+		rc.send(frameEndStream, nil)
+		rc.send(frameUpdates, oneUpdate)
+		rc.expectError("updates after end-stream")
+	})
+	t.Run("updates before hello", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameUpdates, oneUpdate)
+		rc.expectError("updates before hello")
+	})
+	t.Run("query before end of stream", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameHello, helloPayload(64))
+		rc.send(frameQuery, encodeQuery(QuerySelfJoinSize, QueryParams{}))
+		rc.expectError("query mid-stream")
+	})
+	t.Run("double end of stream", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameHello, helloPayload(64))
+		rc.send(frameEndStream, nil)
+		rc.send(frameEndStream, nil)
+		rc.expectError("double end-stream")
+	})
+	t.Run("open after hello", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameHello, helloPayload(64))
+		rc.send(frameOpen, encodeOpen("d", 64))
+		rc.expectError("open on a v1 connection")
+	})
+	t.Run("hello after open", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameOpen, encodeOpen("d", 64))
+		rc.send(frameHello, helloPayload(64))
+		rc.expectError("hello on a v2 connection")
+	})
+	t.Run("end of stream after open", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameOpen, encodeOpen("d", 64))
+		rc.send(frameEndStream, nil)
+		rc.expectError("end-stream on a v2 connection")
+	})
+	t.Run("oversized dataset name", func(t *testing.T) {
+		rc := dialRaw(t, addr)
+		rc.send(frameOpen, encodeOpen(strings.Repeat("x", maxDatasetName+1), 64))
+		rc.expectError("oversized name")
+	})
+}
+
+// TestIdleTimeout: a client that connects and stalls is disconnected
+// once IdleTimeout elapses, freeing the handler goroutine.
+func TestIdleTimeout(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61, IdleTimeout: 100 * time.Millisecond})
+	defer stop()
+
+	cases := []struct {
+		name  string
+		prime func(*rawConn)
+	}{
+		{"silent from the start", func(*rawConn) {}},
+		{"stalls mid-stream", func(rc *rawConn) {
+			rc.send(frameHello, helloPayload(64))
+			rc.send(frameUpdates, encodeUpdates([]stream.Update{{Index: 3, Delta: 2}}))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rc := dialRaw(t, addr)
+			tc.prime(rc)
+			start := time.Now()
+			_ = rc.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			// The server abandons the connection; the client observes EOF
+			// (or a timeout error frame followed by close).
+			for {
+				if _, _, err := readFrame(rc.conn); err != nil {
+					break
+				}
+			}
+			if waited := time.Since(start); waited > 5*time.Second {
+				t.Fatalf("server held a stalled connection for %v", waited)
+			}
+		})
+	}
+}
+
+// TestIdleTimeoutDoesNotKillActiveClients: a client that keeps talking
+// within the deadline completes its whole session.
+func TestIdleTimeoutDoesNotKillActiveClients(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61, IdleTimeout: 2 * time.Second})
+	defer stop()
+
+	const u = 1 << 8
+	ups := stream.UniformDeltas(u, 20, field.NewSplitMix64(95))
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Hello(u); err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.NewSelfJoinSize(f61, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := proto.NewVerifier(field.NewSplitMix64(96))
+	for _, up := range ups {
+		if err := v.Observe(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.SendUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.EndStream(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(QuerySelfJoinSize, QueryParams{}, v); err != nil {
+		t.Fatalf("active client killed by idle timeout: %v", err)
+	}
+}
+
+// TestDishonestServerRejectedV2Unaffected: the Corrupt hook only touches
+// the v1 replay path; v2 datasets stay honest.
+func TestDishonestServerRejectedV2Unaffected(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61, Corrupt: func(ups []stream.Update) []stream.Update {
+		return ups[:len(ups)-1]
+	}})
+	defer stop()
+
+	const u = 256
+	ups := stream.UniformDeltas(u, 50, field.NewSplitMix64(97))
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.OpenDataset("honest", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.NewSelfJoinSize(f61, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := proto.NewVerifier(field.NewSplitMix64(98))
+	for _, up := range ups {
+		if err := v.Observe(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Query(QuerySelfJoinSize, QueryParams{}, v); err != nil {
+		t.Fatalf("v2 query on a Corrupt-configured server rejected: %v", err)
+	}
+}
+
+// TestUniverseCap: the server refuses hello/open universes past its cap
+// before allocating anything.
+func TestUniverseCap(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61, MaxUniverse: 1 << 12})
+	defer stop()
+
+	rc := dialRaw(t, addr)
+	rc.send(frameOpen, encodeOpen("big", 1<<13))
+	rc.expectError("open past the universe cap")
+
+	rc = dialRaw(t, addr)
+	rc.send(frameHello, helloPayload(1<<13))
+	rc.expectError("hello past the universe cap")
+
+	// At the cap is fine.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.OpenDataset("ok", 1<<12); err != nil {
+		t.Fatalf("open at the cap refused: %v", err)
+	}
+}
+
+// TestClientModeGuards: mixing the v1 and v2 flows on one connection
+// fails fast client-side instead of desynchronizing the framing.
+func TestClientModeGuards(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61})
+	defer stop()
+
+	v1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	if err := v1.Hello(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v1.Ingest([]stream.Update{{Index: 1, Delta: 1}}); err == nil {
+		t.Error("Ingest on a v1 connection did not fail fast")
+	}
+	if _, err := v1.OpenDataset("d", 64); err == nil {
+		t.Error("OpenDataset on a v1 connection did not fail fast")
+	}
+
+	v2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if _, err := v2.OpenDataset("d", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.SendUpdates([]stream.Update{{Index: 1, Delta: 1}}); err == nil {
+		t.Error("SendUpdates on a v2 connection did not fail fast")
+	}
+	if err := v2.EndStream(); err == nil {
+		t.Error("EndStream on a v2 connection did not fail fast")
+	}
+	if err := v2.Hello(64); err == nil {
+		t.Error("Hello on a v2 connection did not fail fast")
+	}
+	if err := v2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.SendUpdates(nil); err == nil {
+		t.Error("SendUpdates before Hello did not fail fast")
+	}
+}
+
+// TestPrivateDatasetSlotLimit: v1 private datasets are capped across
+// concurrent connections, and slots are returned when connections close.
+func TestPrivateDatasetSlotLimit(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61, MaxPrivateDatasets: 1})
+	defer stop()
+
+	first, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Hello(64); err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the hello was processed before racing the second one.
+	if err := first.SendUpdates([]stream.Update{{Index: 1, Delta: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.EndStream(); err != nil {
+		t.Fatal(err)
+	}
+	proto, err := core.NewSelfJoinSize(f61, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := proto.NewVerifier(field.NewSplitMix64(1))
+	if err := v.Observe(stream.Update{Index: 1, Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Query(QuerySelfJoinSize, QueryParams{}, v); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := dialRaw(t, addr)
+	rc.send(frameHello, helloPayload(64))
+	rc.expectError("second private dataset past the cap")
+
+	// Freeing the slot admits a new connection. The release runs as the
+	// handler unwinds after Close, so poll until a full v1 session
+	// succeeds again.
+	first.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = func() error {
+			defer c.Close()
+			if err := c.Hello(64); err != nil {
+				return err
+			}
+			if err := c.EndStream(); err != nil {
+				return err
+			}
+			v := proto.NewVerifier(field.NewSplitMix64(2))
+			_, err := c.Query(QuerySelfJoinSize, QueryParams{}, v)
+			return err
+		}()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never released: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,6 @@
 // Package wire runs the interactive proofs over TCP: the prover becomes a
-// long-lived "cloud" server that ingests the stream as the data owner
-// uploads it, and the verifier a thin client that keeps only its O(log u)
+// long-lived "cloud" server that maintains datasets as aggregate prover
+// state, and the verifier a thin client that keeps only its O(log u)
 // summaries while uploading, then drives query conversations over the
 // same connection.
 //
@@ -8,6 +8,20 @@
 // over the input can take place incrementally as the verifier uploads
 // data to the cloud", after which each query costs the owner a
 // logarithmic-size conversation.
+//
+// Two client flows share one framing:
+//
+//   - v1 (hello → updates → end-stream → queries): a private,
+//     per-connection dataset. Updates are folded into maintained state as
+//     each batch arrives — the server never stores the raw stream and
+//     never replays it, however many queries follow.
+//   - v2 (open <name> → updates/queries freely interleaved): a named
+//     dataset shared through the server's engine. Any number of
+//     connections ingest into and query the same dataset concurrently;
+//     each query proves against an immutable snapshot taken when the
+//     query frame arrives, and ingestion continues meanwhile. Each v2
+//     update batch is acknowledged with the dataset's new update count,
+//     so cooperating uploaders can sequence their work.
 //
 // Framing: every frame is [uint32 length][uint8 type][payload], payloads
 // little-endian via encoding/binary. Protocol messages (core.Msg) are
@@ -22,52 +36,72 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/stream"
 )
 
 // Frame types.
 const (
-	frameHello     = 0x01 // client→server: universe size
+	frameHello     = 0x01 // client→server: universe size (v1, private dataset)
 	frameUpdates   = 0x02 // client→server: batch of (index, delta)
-	frameEndStream = 0x03 // client→server: upload finished
+	frameEndStream = 0x03 // client→server: v1 upload finished
 	frameQuery     = 0x04 // client→server: query kind + parameters
 	frameProver    = 0x05 // server→client: prover message
 	frameChallenge = 0x06 // client→server: verifier challenge
 	frameFinish    = 0x07 // client→server: conversation over
 	frameError     = 0x08 // server→client: error text
+	frameOpen      = 0x09 // client→server: attach to named dataset (v2)
+	frameOK        = 0x0a // server→client: ack with dataset update count (v2)
 )
 
-// QueryKind enumerates the queries the server answers.
-type QueryKind uint8
+// QueryKind enumerates the queries the server answers; the values live in
+// the engine, which owns prover construction.
+type QueryKind = engine.QueryKind
 
 // The wire query kinds.
 const (
-	QuerySelfJoinSize QueryKind = iota + 1
-	QueryFk
-	QueryRangeSum
-	QueryRangeQuery
-	QueryIndex
-	QueryDictionary
-	QueryPredecessor
-	QuerySuccessor
-	QueryKLargest
-	QueryHeavyHitters
-	QueryF0
-	QueryFmax
+	QuerySelfJoinSize = engine.QuerySelfJoinSize
+	QueryFk           = engine.QueryFk
+	QueryRangeSum     = engine.QueryRangeSum
+	QueryRangeQuery   = engine.QueryRangeQuery
+	QueryIndex        = engine.QueryIndex
+	QueryDictionary   = engine.QueryDictionary
+	QueryPredecessor  = engine.QueryPredecessor
+	QuerySuccessor    = engine.QuerySuccessor
+	QueryKLargest     = engine.QueryKLargest
+	QueryHeavyHitters = engine.QueryHeavyHitters
+	QueryF0           = engine.QueryF0
+	QueryFmax         = engine.QueryFmax
 )
 
 // QueryParams carries the per-kind parameters; unused fields are zero.
-type QueryParams struct {
-	A, B uint64  // range bounds / point / key
-	K    int64   // moment order or k-largest rank
-	Phi  float64 // heavy-hitter fraction
-}
+type QueryParams = engine.QueryParams
 
 // maxFrame bounds a single frame (64 MiB) to fail fast on corruption.
 const maxFrame = 64 << 20
+
+// maxDatasetName bounds the name carried by an open frame.
+const maxDatasetName = 255
+
+// DefaultMaxUniverse is the universe-size cap applied when
+// Server.MaxUniverse is zero: 2^26 entries ≈ 1 GiB of maintained state
+// per dataset. Deployments with bigger datasets raise the knob.
+const DefaultMaxUniverse = 1 << 26
+
+// DefaultMaxDatasets caps the named datasets a server-created engine
+// will register (each pins O(u) memory forever). Supply your own Engine
+// to choose a different policy.
+const DefaultMaxDatasets = 1024
+
+// DefaultMaxPrivateDatasets caps how many v1 connections may hold a
+// private dataset simultaneously — a hello frame allocates the dense
+// tables up front, so without a cap a handful of cheap frames could
+// exhaust server memory.
+const DefaultMaxPrivateDatasets = 32
 
 // ErrProtocol reports a malformed or unexpected frame.
 var ErrProtocol = errors.New("wire: protocol error")
@@ -173,11 +207,61 @@ func decodeQuery(b []byte) (QueryKind, QueryParams, error) {
 	return kind, p, nil
 }
 
+// encodeOpen lays out an open frame: the universe size, then the dataset
+// name in UTF-8.
+func encodeOpen(name string, u uint64) []byte {
+	out := make([]byte, 8+len(name))
+	binary.LittleEndian.PutUint64(out[:8], u)
+	copy(out[8:], name)
+	return out
+}
+
+func decodeOpen(b []byte) (name string, u uint64, err error) {
+	if len(b) < 9 {
+		return "", 0, fmt.Errorf("%w: open frame %d bytes", ErrProtocol, len(b))
+	}
+	if len(b)-8 > maxDatasetName {
+		return "", 0, fmt.Errorf("%w: dataset name of %d bytes", ErrProtocol, len(b)-8)
+	}
+	return string(b[8:]), binary.LittleEndian.Uint64(b[:8]), nil
+}
+
+func encodeCount(n uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], n)
+	return b[:]
+}
+
+func decodeCount(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("%w: count frame %d bytes", ErrProtocol, len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// decodeUpdateColumns splits an updates payload into index/delta columns,
+// the shape the engine's batch kernel ingests directly.
+func decodeUpdateColumns(payload []byte) (idx []uint64, deltas []int64, err error) {
+	if len(payload)%16 != 0 {
+		return nil, nil, fmt.Errorf("%w: update batch", ErrProtocol)
+	}
+	n := len(payload) / 16
+	idx = make([]uint64, n)
+	deltas = make([]int64, n)
+	for i := 0; i < n; i++ {
+		idx[i] = binary.LittleEndian.Uint64(payload[16*i:])
+		deltas[i] = int64(binary.LittleEndian.Uint64(payload[16*i+8:]))
+	}
+	return idx, deltas, nil
+}
+
 // ---------------------------------------------------------------------
 // Server
 
-// Server is the cloud-side prover service. It stores the uploaded stream
-// per connection and constructs honest provers on demand.
+// Server is the cloud-side prover service. Datasets are maintained
+// aggregate state: per-connection for the v1 flow, shared through Engine
+// for the v2 named-dataset flow. Provers are constructed from snapshots —
+// the stream is ingested once and never replayed.
 type Server struct {
 	F field.Field
 	// Workers is handed to every prover the server builds: 0 proves each
@@ -185,13 +269,35 @@ type Server struct {
 	// goroutines, n < 0 uses runtime.NumCPU(). Transcripts are identical
 	// either way; only latency changes.
 	Workers int
+	// Engine holds the named datasets served to v2 connections. Leave nil
+	// to have the server create one on first use; share one Engine to
+	// serve the same datasets from several listeners.
+	Engine *engine.Engine
+	// IdleTimeout bounds how long the server waits for the next frame
+	// from (or write to) a client before abandoning the connection, so a
+	// stalled or malicious peer cannot pin a handler goroutine forever.
+	// Zero means no deadline.
+	IdleTimeout time.Duration
+	// MaxUniverse caps the universe size a client may announce with
+	// hello or open — a dataset allocates 16 bytes per universe entry up
+	// front, so without a cap one cheap frame could exhaust server
+	// memory. Zero selects DefaultMaxUniverse.
+	MaxUniverse uint64
+	// MaxPrivateDatasets caps how many v1 connections may hold a private
+	// dataset at once (each pins O(u) memory for the connection's
+	// lifetime). Zero selects DefaultMaxPrivateDatasets; negative means
+	// no cap.
+	MaxPrivateDatasets int
 	// Corrupt, when non-nil, rewrites the stored stream before proving —
-	// a hook for the dishonest-cloud experiments and tests.
+	// a hook for the dishonest-cloud experiments and tests. It applies to
+	// v1 connections only (the honest engine path never retains the raw
+	// stream to corrupt).
 	Corrupt func([]stream.Update) []stream.Update
 
-	mu     sync.Mutex
-	ln     net.Listener
-	closed bool
+	mu      sync.Mutex
+	ln      net.Listener
+	closed  bool
+	v1Alive int // v1 connections currently holding a private dataset
 }
 
 // Serve accepts connections until the listener closes. Each connection is
@@ -223,7 +329,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		go func() {
 			defer conn.Close()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-				_ = writeFrame(conn, frameError, []byte(err.Error()))
+				_ = s.write(conn, frameError, []byte(err.Error()))
 			}
 		}()
 	}
@@ -244,46 +350,185 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// engineRef returns the shared engine, creating it (with the default
+// dataset cap) on first use.
+func (s *Server) engineRef() *engine.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Engine == nil {
+		s.Engine = engine.New(s.F, s.Workers)
+		s.Engine.SetMaxDatasets(DefaultMaxDatasets)
+	}
+	return s.Engine
+}
+
+// checkUniverse enforces the server's universe-size cap.
+func (s *Server) checkUniverse(u uint64) error {
+	limit := s.MaxUniverse
+	if limit == 0 {
+		limit = DefaultMaxUniverse
+	}
+	if u > limit {
+		return fmt.Errorf("%w: universe %d exceeds the server limit %d", ErrProtocol, u, limit)
+	}
+	return nil
+}
+
+// acquireV1 reserves a private-dataset slot for a v1 connection;
+// releaseV1 returns it when the connection ends.
+func (s *Server) acquireV1() error {
+	limit := s.MaxPrivateDatasets
+	if limit == 0 {
+		limit = DefaultMaxPrivateDatasets
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit > 0 && s.v1Alive >= limit {
+		return fmt.Errorf("%w: too many concurrent private datasets (limit %d)", ErrProtocol, limit)
+	}
+	s.v1Alive++
+	return nil
+}
+
+func (s *Server) releaseV1() {
+	s.mu.Lock()
+	s.v1Alive--
+	s.mu.Unlock()
+}
+
+// read receives one frame, applying the idle deadline.
+func (s *Server) read(conn net.Conn) (byte, []byte, error) {
+	if s.IdleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	return readFrame(conn)
+}
+
+// write sends one frame, applying the idle deadline.
+func (s *Server) write(conn net.Conn, typ byte, payload []byte) error {
+	if s.IdleTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+			return err
+		}
+	}
+	return writeFrame(conn, typ, payload)
+}
+
+// connState is the frame state machine: which frames are legal next.
+type connState int
+
+const (
+	connStart  connState = iota // nothing received: expect hello or open
+	connV1Load                  // v1 upload in progress
+	connV1Done                  // v1 upload finished: queries only
+	connV2                      // attached to a named dataset
+)
+
 func (s *Server) handle(conn net.Conn) error {
-	var u uint64
-	var updates []stream.Update
-	streamDone := false
+	st := connStart
+	var (
+		ds  *engine.Dataset // v1: private; v2: shared named dataset
+		u   uint64          // v1 universe (for the Corrupt replay path)
+		raw []stream.Update // v1 raw stream, retained only when Corrupt is set
+	)
+	v1Slot := false
+	defer func() {
+		if v1Slot {
+			s.releaseV1()
+		}
+	}()
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := s.read(conn)
 		if err != nil {
 			return err
 		}
 		switch typ {
 		case frameHello:
+			if st != connStart {
+				return fmt.Errorf("%w: hello after the stream started", ErrProtocol)
+			}
 			if len(payload) != 8 {
 				return fmt.Errorf("%w: hello frame", ErrProtocol)
 			}
 			u = binary.LittleEndian.Uint64(payload)
-		case frameUpdates:
-			if len(payload)%16 != 0 {
-				return fmt.Errorf("%w: update batch", ErrProtocol)
+			if err := s.checkUniverse(u); err != nil {
+				return err
 			}
-			for off := 0; off < len(payload); off += 16 {
-				updates = append(updates, stream.Update{
-					Index: binary.LittleEndian.Uint64(payload[off:]),
-					Delta: int64(binary.LittleEndian.Uint64(payload[off+8:])),
-				})
+			if err := s.acquireV1(); err != nil {
+				return err
+			}
+			v1Slot = true
+			// A cheating server proves from the retained raw stream, so
+			// maintained state would never be read — skip it.
+			if s.Corrupt == nil {
+				if ds, err = engine.NewDataset(s.F, u, s.Workers); err != nil {
+					return err
+				}
+			}
+			st = connV1Load
+		case frameOpen:
+			if st != connStart && st != connV2 {
+				return fmt.Errorf("%w: open on a v1 connection", ErrProtocol)
+			}
+			name, uu, err := decodeOpen(payload)
+			if err != nil {
+				return err
+			}
+			if err := s.checkUniverse(uu); err != nil {
+				return err
+			}
+			if ds, err = s.engineRef().Open(name, uu); err != nil {
+				return err
+			}
+			st = connV2
+			if err := s.write(conn, frameOK, encodeCount(ds.Updates())); err != nil {
+				return err
+			}
+		case frameUpdates:
+			if st != connV1Load && st != connV2 {
+				return fmt.Errorf("%w: updates outside an upload phase", ErrProtocol)
+			}
+			idx, deltas, err := decodeUpdateColumns(payload)
+			if err != nil {
+				return err
+			}
+			if st == connV1Load && s.Corrupt != nil {
+				for i := range idx {
+					raw = append(raw, stream.Update{Index: idx[i], Delta: deltas[i]})
+				}
+			}
+			if ds != nil {
+				if err := ds.IngestColumns(idx, deltas); err != nil {
+					return err
+				}
+			}
+			if st == connV2 {
+				if err := s.write(conn, frameOK, encodeCount(ds.Updates())); err != nil {
+					return err
+				}
 			}
 		case frameEndStream:
-			streamDone = true
+			if st != connV1Load {
+				return fmt.Errorf("%w: end-of-stream outside a v1 upload", ErrProtocol)
+			}
+			st = connV1Done
 		case frameQuery:
-			if !streamDone {
+			if st != connV1Done && st != connV2 {
 				return fmt.Errorf("%w: query before end of stream", ErrProtocol)
 			}
 			kind, params, err := decodeQuery(payload)
 			if err != nil {
 				return err
 			}
-			ups := updates
-			if s.Corrupt != nil {
-				ups = s.Corrupt(append([]stream.Update(nil), updates...))
+			var session core.ProverSession
+			if st == connV1Done && s.Corrupt != nil {
+				ups := s.Corrupt(append([]stream.Update(nil), raw...))
+				session, err = BuildProver(s.F, u, kind, params, ups, s.Workers)
+			} else {
+				session, err = ds.Snapshot().NewProver(kind, params)
 			}
-			session, err := BuildProver(s.F, u, kind, params, ups, s.Workers)
 			if err != nil {
 				return err
 			}
@@ -302,11 +547,11 @@ func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(conn, frameProver, encodeMsg(opening)); err != nil {
+	if err := s.write(conn, frameProver, encodeMsg(opening)); err != nil {
 		return err
 	}
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := s.read(conn)
 		if err != nil {
 			return err
 		}
@@ -322,7 +567,7 @@ func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
 			if err != nil {
 				return err
 			}
-			if err := writeFrame(conn, frameProver, encodeMsg(resp)); err != nil {
+			if err := s.write(conn, frameProver, encodeMsg(resp)); err != nil {
 				return err
 			}
 		default:
@@ -331,10 +576,14 @@ func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
 	}
 }
 
-// BuildProver constructs the prover session for a query by replaying the
-// stored stream — the honest cloud's behavior. workers is the prover's
-// parallel fan-out (0 serial, n < 0 runtime.NumCPU()); the transcript is
-// identical for every value.
+// BuildProver constructs the prover session for a query by replaying a
+// raw stream through the session's Observe path. The serving path no
+// longer does this — provers come from dataset snapshots — but the replay
+// construction remains as the dishonest-cloud hook (Corrupt rewrites the
+// stream before it is replayed) and as the baseline the amortization
+// benchmarks and the engine's transcript-equality tests compare against.
+// workers is the prover's parallel fan-out (0 serial, n < 0
+// runtime.NumCPU()); the transcript is identical for every value.
 func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, ups []stream.Update, workers int) (core.ProverSession, error) {
 	observe := func(obs interface{ Observe(stream.Update) error }) error {
 		for _, up := range ups {
@@ -470,10 +719,24 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 // Client
 
 // Client is the data-owner side: it uploads the stream (keeping only its
-// local verifier summaries) and drives query conversations.
+// local verifier summaries) and drives query conversations. The v1 flow
+// is Hello → SendUpdates → EndStream → Query; the v2 flow is
+// OpenDataset → Ingest/Query in any order.
 type Client struct {
 	conn net.Conn
+	mode connMode
 }
+
+// connMode mirrors the server's flow distinction on the client, so
+// mixing the flows fails fast locally instead of desynchronizing the
+// conversation (v2 update batches are acknowledged, v1 ones are not).
+type connMode int
+
+const (
+	modeUnset connMode = iota
+	modeV1
+	modeV2
+)
 
 // Dial connects to a prover server.
 func Dial(addr string) (*Client, error) {
@@ -487,28 +750,57 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Hello announces the universe size.
+// Hello announces the universe size and starts a v1 upload into a
+// private, per-connection dataset.
 func (c *Client) Hello(u uint64) error {
+	if c.mode == modeV2 {
+		return fmt.Errorf("wire: Hello on a connection attached to a named dataset")
+	}
+	c.mode = modeV1
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], u)
 	return writeFrame(c.conn, frameHello, b[:])
 }
 
-// SendUpdates uploads a batch of stream updates. The caller feeds the
-// same updates to its local verifiers — that is the single streaming pass.
+// OpenDataset attaches the connection to the named server-side dataset,
+// creating it over a universe of size ≥ u if it does not exist. It
+// returns the dataset's current update count — zero for a fresh dataset;
+// a verifier must have observed every update already ingested for its
+// queries to be accepted. After OpenDataset, Ingest and Query may be
+// freely interleaved, and other connections attached to the same name
+// see the same data.
+func (c *Client) OpenDataset(name string, u uint64) (uint64, error) {
+	if c.mode == modeV1 {
+		return 0, fmt.Errorf("wire: OpenDataset on a v1 connection")
+	}
+	if name == "" || len(name) > maxDatasetName {
+		return 0, fmt.Errorf("wire: dataset name must be 1..%d bytes", maxDatasetName)
+	}
+	if err := writeFrame(c.conn, frameOpen, encodeOpen(name, u)); err != nil {
+		return 0, err
+	}
+	count, err := c.readOK()
+	if err == nil {
+		c.mode = modeV2
+	}
+	return count, err
+}
+
+// SendUpdates uploads a batch of stream updates on a v1 connection. The
+// caller feeds the same updates to its local verifiers — that is the
+// single streaming pass. The server folds each batch into its maintained
+// state as it arrives.
 func (c *Client) SendUpdates(ups []stream.Update) error {
+	if c.mode != modeV1 {
+		return fmt.Errorf("wire: SendUpdates requires a v1 connection (after Hello); use Ingest on named datasets")
+	}
 	const batch = 4096
 	for len(ups) > 0 {
 		n := len(ups)
 		if n > batch {
 			n = batch
 		}
-		payload := make([]byte, 16*n)
-		for i, up := range ups[:n] {
-			binary.LittleEndian.PutUint64(payload[16*i:], up.Index)
-			binary.LittleEndian.PutUint64(payload[16*i+8:], uint64(up.Delta))
-		}
-		if err := writeFrame(c.conn, frameUpdates, payload); err != nil {
+		if err := writeFrame(c.conn, frameUpdates, encodeUpdates(ups[:n])); err != nil {
 			return err
 		}
 		ups = ups[n:]
@@ -516,8 +808,62 @@ func (c *Client) SendUpdates(ups []stream.Update) error {
 	return nil
 }
 
-// EndStream marks the upload complete.
+// Ingest uploads updates into the attached v2 dataset, waiting for the
+// server's acknowledgement of every batch. It returns the dataset's
+// update count after the last batch (including other connections'
+// concurrent ingestion).
+func (c *Client) Ingest(ups []stream.Update) (uint64, error) {
+	if c.mode != modeV2 {
+		return 0, fmt.Errorf("wire: Ingest requires an attached dataset (call OpenDataset first)")
+	}
+	const batch = 4096
+	var count uint64
+	for sent := false; len(ups) > 0 || !sent; sent = true {
+		n := len(ups)
+		if n > batch {
+			n = batch
+		}
+		if err := writeFrame(c.conn, frameUpdates, encodeUpdates(ups[:n])); err != nil {
+			return count, err
+		}
+		var err error
+		if count, err = c.readOK(); err != nil {
+			return count, err
+		}
+		ups = ups[n:]
+	}
+	return count, nil
+}
+
+func encodeUpdates(ups []stream.Update) []byte {
+	payload := make([]byte, 16*len(ups))
+	for i, up := range ups {
+		binary.LittleEndian.PutUint64(payload[16*i:], up.Index)
+		binary.LittleEndian.PutUint64(payload[16*i+8:], uint64(up.Delta))
+	}
+	return payload
+}
+
+func (c *Client) readOK() (uint64, error) {
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	switch typ {
+	case frameOK:
+		return decodeCount(payload)
+	case frameError:
+		return 0, fmt.Errorf("wire: server error: %s", payload)
+	default:
+		return 0, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}
+
+// EndStream marks a v1 upload complete.
 func (c *Client) EndStream() error {
+	if c.mode != modeV1 {
+		return fmt.Errorf("wire: EndStream requires a v1 connection")
+	}
 	return writeFrame(c.conn, frameEndStream, nil)
 }
 

@@ -45,12 +45,33 @@
 // worker count; only wall-clock time changes. The verifier's costs are
 // already logarithmic and are unaffected.
 //
+// # Persistent datasets: ingest once, prove many
+//
+// The session API above rebuilds prover state per conversation. A
+// Dataset instead maintains that state across queries — the paper's
+// actual deployment, where the cloud holds the data and answers a whole
+// workload over it:
+//
+//	ds, _ := sip.NewDataset(sip.Mersenne(), 1<<20, -1)
+//	ds.Ingest(batch)                        // once per batch, not per query
+//	snap := ds.Snapshot()                   // O(1), immutable view
+//	p, _ := snap.NewProver(sip.QuerySelfJoinSize, sip.QueryParams{})
+//	stats, err := sip.Run(p, v)             // v observed the same stream
+//
+// Every later query skips the Θ(stream) rebuild: provers are constructed
+// from the maintained tables with transcripts bit-identical to the
+// streaming path. Ingestion can continue between queries — snapshots are
+// copy-on-write, so in-flight conversations never observe a torn state.
+// An Engine names datasets so many connections (see internal/wire's v2
+// protocol, cmd/sipserver and cmd/sipclient) share them.
+//
 // For production the verifier's randomness must come from
 // sip.NewCryptoRNG(); deterministic seeds are for tests and experiments.
 package sip
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/stream"
 )
@@ -121,6 +142,51 @@ func NewCryptoRNG() RNG { return field.CryptoRNG{} }
 // Run drives a complete local conversation between a prover and a
 // verifier session. A nil error means the verifier accepted.
 func Run(p ProverSession, v VerifierSession) (Stats, error) { return core.Run(p, v) }
+
+// ---------------------------------------------------------------------
+// Persistent dataset engine
+
+// Engine is a registry of named datasets — the multi-tenant state of a
+// prover service.
+type Engine = engine.Engine
+
+// Dataset is a persistently maintained frequency vector: ingest updates
+// once, construct provers for any number of queries from snapshots.
+type Dataset = engine.Dataset
+
+// Snapshot is an immutable view of a dataset at one ingestion epoch.
+type Snapshot = engine.Snapshot
+
+// QueryKind selects which query a snapshot prover answers.
+type QueryKind = engine.QueryKind
+
+// QueryParams carries the per-kind query parameters.
+type QueryParams = engine.QueryParams
+
+// The query kinds a dataset answers.
+const (
+	QuerySelfJoinSize = engine.QuerySelfJoinSize
+	QueryFk           = engine.QueryFk
+	QueryRangeSum     = engine.QueryRangeSum
+	QueryRangeQuery   = engine.QueryRangeQuery
+	QueryIndex        = engine.QueryIndex
+	QueryDictionary   = engine.QueryDictionary
+	QueryPredecessor  = engine.QueryPredecessor
+	QuerySuccessor    = engine.QuerySuccessor
+	QueryKLargest     = engine.QueryKLargest
+	QueryHeavyHitters = engine.QueryHeavyHitters
+	QueryF0           = engine.QueryF0
+	QueryFmax         = engine.QueryFmax
+)
+
+// NewEngine returns an empty dataset registry. workers is the prover
+// fan-out handed to every dataset (0 serial, -1 all cores).
+func NewEngine(f Field, workers int) *Engine { return engine.New(f, workers) }
+
+// NewDataset returns a standalone dataset over a universe of size ≥ u.
+func NewDataset(f Field, u uint64, workers int) (*Dataset, error) {
+	return engine.NewDataset(f, u, workers)
+}
 
 // ---------------------------------------------------------------------
 // Protocol constructors (aliases into internal/core)
