@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/hashtree"
 	"repro/internal/lde"
 	"repro/internal/merkle"
+	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/sumcheck"
 	"repro/internal/wire"
@@ -620,5 +622,98 @@ func BenchmarkDatasetIngest(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(ups))*float64(b.N)/b.Elapsed().Seconds(), "upd/s")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Durable engine: checkpoint codec throughput and the latency a query
+// pays when its dataset was evicted to disk (cold) versus resident
+// (warm). The dataset is the amortization workload's: log u = 18,
+// n = 4u unit increments.
+
+func checkpointFixture(b *testing.B) (*engine.Snapshot, *store.Checkpoint) {
+	b.Helper()
+	const logu = 18
+	u := uint64(1) << logu
+	ds, err := engine.NewDataset(f61, u, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ds.Ingest(amortUpdates(u)); err != nil {
+		b.Fatal(err)
+	}
+	snap := ds.Snapshot()
+	return snap, &store.Checkpoint{
+		Universe: u,
+		Modulus:  f61.Modulus(),
+		Total:    snap.Total(),
+		Updates:  snap.Updates(),
+		Counts:   snap.Counts(),
+	}
+}
+
+func BenchmarkCheckpointSave(b *testing.B) {
+	_, ckpt := checkpointFixture(b)
+	path := filepath.Join(b.TempDir(), "ds.ckpt")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Save(path, ckpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bytes := float64(8 * len(ckpt.Counts))
+	b.ReportMetric(bytes*float64(b.N)/b.Elapsed().Seconds()/(1<<20), "MB/s")
+}
+
+func BenchmarkCheckpointLoad(b *testing.B) {
+	_, ckpt := checkpointFixture(b)
+	path := filepath.Join(b.TempDir(), "ds.ckpt")
+	if err := store.Save(path, ckpt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Load(path, f61.Modulus()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bytes := float64(8 * len(ckpt.Counts))
+	b.ReportMetric(bytes*float64(b.N)/b.Elapsed().Seconds()/(1<<20), "MB/s")
+}
+
+// BenchmarkRehydrateQuery: cold query setup under a one-dataset budget.
+// Two datasets ping-pong through memory; every iteration rehydrates the
+// evicted one from its checkpoint (evicting the other, clean, for free)
+// and builds an F2 prover — the full latency an unlucky query pays.
+// Compare BenchmarkProverSetupSnapshot, the warm path's ~µs setup.
+func BenchmarkRehydrateQuery(b *testing.B) {
+	const logu = 18
+	u := uint64(1) << logu
+	eng := engine.New(f61, -1)
+	if err := eng.SetDataDir(b.TempDir()); err != nil {
+		b.Fatal(err)
+	}
+	eng.SetBudget(int64(u) * 16)
+	ups := amortUpdates(u)
+	var pair [2]*engine.Dataset
+	for i, name := range []string{"even", "odd"} {
+		ds, err := eng.Open(name, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ds.Ingest(ups); err != nil {
+			b.Fatal(err)
+		}
+		pair[i] = ds
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := pair[i%2].SnapshotErr()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snap.NewProver(engine.QuerySelfJoinSize, engine.QueryParams{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

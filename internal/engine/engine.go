@@ -26,6 +26,26 @@
 // block ingestion and never observe a torn state). Snapshot.NewProver
 // constructs the prover session for any QueryKind from that view without
 // touching the raw stream — the engine does not even retain it.
+//
+// # Resource governance and durability
+//
+// The prover carries the O(u) state so the streaming verifier doesn't
+// have to — which means a multi-tenant engine must govern that state
+// explicitly or a handful of datasets exhausts the process. An Engine
+// therefore runs its datasets through a resident/evicted state machine
+// (see persist.go):
+//
+//   - SetBudget caps the aggregate bytes of resident tables; admission
+//     control at Open and at rehydration evicts least-recently-used
+//     datasets to disk to stay under it, and fails with ErrBudget when
+//     eviction cannot make room.
+//   - SetDataDir names the checkpoint directory (internal/store codec);
+//     evicted datasets checkpoint there, free their tables, and
+//     rehydrate transparently on the next use, with transcripts
+//     bit-identical across the cycle.
+//   - Persist / StartCheckpointer write dirty datasets back on demand or
+//     on an interval, and Recover rebuilds the registry from the data
+//     dir after a restart, so a crash loses at most the last interval.
 package engine
 
 import (
@@ -39,16 +59,29 @@ import (
 	"repro/internal/stream"
 )
 
-// Engine is a registry of named datasets sharing one field and worker
-// budget — the multi-tenant state of a prover server. All methods are
-// safe for concurrent use.
+// Engine is a registry of named datasets sharing one field, worker
+// budget, and memory budget — the multi-tenant state of a prover server.
+// All methods are safe for concurrent use.
 type Engine struct {
 	f       field.Field
 	workers int
 
-	mu          sync.RWMutex
+	mu          sync.Mutex
 	datasets    map[string]*Dataset
 	maxDatasets int
+
+	// Resource governance + durability (persist.go). Residency
+	// transitions — eviction and rehydration — happen only with mu held,
+	// so a dataset observed resident under its own lock stays resident
+	// for the duration of that critical section.
+	budget   int64  // Σ-byte cap on resident head tables (0 = unlimited)
+	resident int64  // bytes of head tables currently resident
+	dataDir  string // checkpoint directory ("" = memory-only engine)
+	clock    uint64 // LRU clock; bumped on every dataset touch
+
+	ckptStop chan struct{} // closes to stop the background checkpointer
+	ckptDone chan struct{} // closed when the checkpointer has exited
+	ckptErr  error         // last background checkpoint failure
 }
 
 // New returns an empty engine. workers is handed to every prover built
@@ -58,8 +91,8 @@ func New(f field.Field, workers int) *Engine {
 }
 
 // SetMaxDatasets caps how many datasets Open will create (0 = no cap).
-// Each dataset pins O(u) memory forever, so a server exposed to
-// untrusted clients should set a cap.
+// Each dataset holds O(u) memory while resident, so a server exposed to
+// untrusted clients should set a cap (and a byte budget, see SetBudget).
 func (e *Engine) SetMaxDatasets(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -69,7 +102,10 @@ func (e *Engine) SetMaxDatasets(n int) {
 // Open returns the named dataset, creating it (over a universe of size
 // ≥ u) on first open. Re-opening attaches to the existing dataset; the
 // requested universe must match the one it was created with, since the
-// verifier's summaries are parameterized by it.
+// verifier's summaries are parameterized by it. Creation is subject to
+// admission control: if the new dataset's tables would push resident
+// memory past the budget, LRU datasets are evicted to disk first, and
+// Open fails with ErrBudget when eviction cannot make room.
 func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("engine: empty dataset name")
@@ -80,32 +116,47 @@ func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
 		if ds.origU != u {
 			return nil, fmt.Errorf("engine: dataset %q has universe %d, not %d", name, ds.origU, u)
 		}
+		e.touchLocked(ds)
 		return ds, nil
 	}
 	if e.maxDatasets > 0 && len(e.datasets) >= e.maxDatasets {
 		return nil, fmt.Errorf("engine: dataset limit of %d reached", e.maxDatasets)
+	}
+	params, err := lde.ParamsForUniverse(u, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.admitLocked(tableBytes(params.U), nil); err != nil {
+		return nil, fmt.Errorf("engine: cannot admit dataset %q: %w", name, err)
 	}
 	ds, err := NewDataset(e.f, u, e.workers)
 	if err != nil {
 		return nil, err
 	}
 	ds.name = name
+	ds.eng = e
+	e.resident += tableBytes(params.U)
+	e.touchLocked(ds)
 	e.datasets[name] = ds
 	return ds, nil
 }
 
-// Get returns the named dataset if it exists.
+// Get returns the named dataset if it exists. An evicted dataset is
+// returned as-is; it rehydrates transparently on its next table use.
 func (e *Engine) Get(name string) (*Dataset, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ds, ok := e.datasets[name]
+	if ok {
+		e.touchLocked(ds)
+	}
 	return ds, ok
 }
 
 // Names returns the registered dataset names, sorted.
 func (e *Engine) Names() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]string, 0, len(e.datasets))
 	for n := range e.datasets {
 		out = append(out, n)
@@ -114,15 +165,39 @@ func (e *Engine) Names() []string {
 	return out
 }
 
-// Drop removes the named dataset from the registry. Snapshots already
-// taken stay valid (they hold immutable state).
+// Drop removes the named dataset from the registry and deletes its
+// checkpoint file. Snapshots already taken stay valid (they hold
+// immutable state), and a still-resident *Dataset handle lives on
+// unbudgeted; a handle to a dataset dropped while evicted becomes
+// unusable (its tables are gone from both memory and disk).
 func (e *Engine) Drop(name string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	ds, ok := e.datasets[name]
+	if !ok {
+		return
+	}
 	delete(e.datasets, name)
+	ds.mu.Lock()
+	if ds.head != nil {
+		e.resident -= tableBytes(ds.params.U)
+	}
+	ds.eng = nil
+	// Wait out any in-flight checkpoint write and bar future ones, so a
+	// racing background Persist cannot re-create the file after the
+	// removal below and resurrect the dataset on the next Recover.
+	ds.saveMu.Lock()
+	ds.dropped = true
+	ds.saveMu.Unlock()
+	ds.mu.Unlock()
+	e.removeCheckpointLocked(name)
 }
 
 // ---------------------------------------------------------------------
+
+// tableBytes is the resident cost of one dataset's head tables: an int64
+// count and a field.Elem per padded universe entry.
+func tableBytes(paddedU uint64) int64 { return int64(paddedU) * 16 }
 
 // tableState is one immutable-once-sealed version of a dataset's
 // aggregate state. While unsealed it is mutated in place by ingestion;
@@ -146,7 +221,9 @@ func (st *tableState) clone() *tableState {
 
 // Dataset is one named, persistently maintained frequency vector.
 // Ingestion and snapshotting are safe for concurrent use from many
-// connections.
+// connections. An engine-managed dataset may be evicted (head == nil,
+// state on disk) between uses; every table operation rehydrates it
+// transparently.
 type Dataset struct {
 	name    string
 	f       field.Field
@@ -154,28 +231,48 @@ type Dataset struct {
 	origU   uint64     // universe size as requested (protocols are built with it)
 	workers int
 
-	mu   sync.Mutex
-	head *tableState
+	mu      sync.Mutex
+	eng     *Engine     // nil for standalone datasets; cleared by Drop
+	head    *tableState // nil while evicted
+	nMeta   uint64      // updates ingested, valid even while evicted
+	lastUse uint64      // LRU stamp; guarded by eng.mu, not mu
+
+	// saveMu serializes checkpoint writes for this dataset and guards
+	// the record of what is on disk, so a slow writer holding an older
+	// sealed state can never clobber a newer checkpoint (saveState
+	// refuses stale writes). Lock order: mu may be held when taking
+	// saveMu, never the reverse.
+	saveMu  sync.Mutex
+	diskN   uint64 // updates covered by the newest on-disk checkpoint
+	diskHas bool   // a checkpoint file exists for this dataset
+	dropped bool   // Drop ran: no writer may re-create the checkpoint file
 }
 
 // NewDataset returns a standalone (unnamed) dataset over a universe of
 // size ≥ u — the per-connection store of the v1 wire protocol, and the
-// building block Engine.Open registers under a name.
+// building block Engine.Open registers under a name. Standalone datasets
+// are always resident and never budgeted.
 func NewDataset(f field.Field, u uint64, workers int) (*Dataset, error) {
+	ds, err := newDatasetShell(f, u, workers)
+	if err != nil {
+		return nil, err
+	}
+	ds.head = &tableState{
+		counts: make([]int64, ds.params.U),
+		elems:  make([]field.Elem, ds.params.U),
+	}
+	return ds, nil
+}
+
+// newDatasetShell is NewDataset without the O(u) table allocation — the
+// recovery scan registers evicted datasets this way and only pays for
+// tables it will actually keep resident.
+func newDatasetShell(f field.Field, u uint64, workers int) (*Dataset, error) {
 	params, err := lde.ParamsForUniverse(u, 2)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{
-		f:       f,
-		params:  params,
-		origU:   u,
-		workers: workers,
-		head: &tableState{
-			counts: make([]int64, params.U),
-			elems:  make([]field.Elem, params.U),
-		},
-	}, nil
+	return &Dataset{f: f, params: params, origU: u, workers: workers}, nil
 }
 
 // Name returns the dataset's registry name ("" for standalone datasets).
@@ -185,11 +282,47 @@ func (d *Dataset) Name() string { return d.name }
 // padding to a power of two).
 func (d *Dataset) UniverseSize() uint64 { return d.origU }
 
-// Updates returns how many stream updates have been ingested.
+// Updates returns how many stream updates have been ingested. It does
+// not rehydrate an evicted dataset — the count survives eviction.
 func (d *Dataset) Updates() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.head.n
+	return d.nMeta
+}
+
+// withState runs fn on the dataset's live table state, rehydrating from
+// disk first if the dataset is evicted. fn runs under the dataset lock
+// and must not call back into the engine. The loop re-checks residency
+// because the engine may evict between the rehydrate and the lock.
+func (d *Dataset) withState(fn func(*tableState) error) error {
+	for {
+		d.mu.Lock()
+		if d.head != nil {
+			err := fn(d.head)
+			d.mu.Unlock()
+			return err
+		}
+		eng := d.eng
+		d.mu.Unlock()
+		if eng == nil {
+			return fmt.Errorf("engine: dataset %q was dropped while evicted; its tables are gone", d.name)
+		}
+		if err := eng.rehydrate(d); err != nil {
+			return err
+		}
+	}
+}
+
+// touch marks the dataset most-recently-used for the LRU policy.
+func (d *Dataset) touch() {
+	d.mu.Lock()
+	eng := d.eng
+	d.mu.Unlock()
+	if eng != nil {
+		eng.mu.Lock()
+		eng.touchLocked(d)
+		eng.mu.Unlock()
+	}
 }
 
 // minShardBatch is the batch size below which the sharded scatter is not
@@ -214,7 +347,8 @@ func (d *Dataset) Ingest(ups []stream.Update) error {
 // shard's updates in batch order. No two workers touch the same entry
 // and per-index application order is preserved, so the result is
 // identical to the serial left-to-right application for every worker
-// count.
+// count. An evicted dataset is rehydrated first (admission control
+// applies: rehydration may fail with ErrBudget).
 func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 	if len(idx) != len(deltas) {
 		return fmt.Errorf("engine: batch has %d indices but %d deltas", len(idx), len(deltas))
@@ -225,69 +359,88 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 			return fmt.Errorf("engine: index %d outside universe [0,%d)", i, u)
 		}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	st := d.head
-	if st.sealed {
-		st = st.clone()
-		d.head = st
-	}
-	f := d.f
-	apply := func(k int) {
-		i := idx[k]
-		st.counts[i] += deltas[k]
-		st.elems[i] = f.Add(st.elems[i], f.FromInt64(deltas[k]))
-	}
-	nw := parallel.Workers(d.workers)
-	if nw > 1 && len(idx) >= minShardBatch {
-		// Index i belongs to shard i/width; equal-width shards keep the
-		// shard computation overflow-free for any supported universe.
-		width := (u + uint64(nw) - 1) / uint64(nw)
-		shard := make([]int32, len(idx))
-		count := make([]int, nw)
-		for k, i := range idx {
-			s := int32(i / width)
-			shard[k] = s
-			count[s]++
+	d.touch()
+	return d.withState(func(st *tableState) error {
+		if st.sealed {
+			st = st.clone()
+			d.head = st
 		}
-		start := make([]int, nw+1)
-		for s := 0; s < nw; s++ {
-			start[s+1] = start[s] + count[s]
+		f := d.f
+		apply := func(k int) {
+			i := idx[k]
+			st.counts[i] += deltas[k]
+			st.elems[i] = f.Add(st.elems[i], f.FromInt64(deltas[k]))
 		}
-		pos := make([]int, len(idx))
-		next := append([]int(nil), start[:nw]...)
-		for k := range idx {
-			s := shard[k]
-			pos[next[s]] = k
-			next[s]++
-		}
-		parallel.ForGrain(nw, nw, 1, func(_, lo, hi int) {
-			for s := lo; s < hi; s++ {
-				for _, k := range pos[start[s]:start[s+1]] {
-					apply(k)
-				}
+		nw := parallel.Workers(d.workers)
+		if nw > 1 && len(idx) >= minShardBatch {
+			// Index i belongs to shard i/width; equal-width shards keep the
+			// shard computation overflow-free for any supported universe.
+			width := (u + uint64(nw) - 1) / uint64(nw)
+			shard := make([]int32, len(idx))
+			count := make([]int, nw)
+			for k, i := range idx {
+				s := int32(i / width)
+				shard[k] = s
+				count[s]++
 			}
-		})
-	} else {
-		for k := range idx {
-			apply(k)
+			start := make([]int, nw+1)
+			for s := 0; s < nw; s++ {
+				start[s+1] = start[s] + count[s]
+			}
+			pos := make([]int, len(idx))
+			next := append([]int(nil), start[:nw]...)
+			for k := range idx {
+				s := shard[k]
+				pos[next[s]] = k
+				next[s]++
+			}
+			parallel.ForGrain(nw, nw, 1, func(_, lo, hi int) {
+				for s := lo; s < hi; s++ {
+					for _, k := range pos[start[s]:start[s+1]] {
+						apply(k)
+					}
+				}
+			})
+		} else {
+			for k := range idx {
+				apply(k)
+			}
 		}
-	}
-	for _, dl := range deltas {
-		st.total += dl
-	}
-	st.n += uint64(len(idx))
-	return nil
+		for _, dl := range deltas {
+			st.total += dl
+		}
+		st.n += uint64(len(idx))
+		d.nMeta = st.n
+		return nil
+	})
 }
 
-// Snapshot returns an immutable view of the current state in O(1). The
-// snapshot stays valid — and bit-stable — while ingestion continues; the
-// first ingest after a snapshot pays one O(u) table copy.
+// Snapshot returns an immutable view of the current state in O(1),
+// rehydrating an evicted dataset first. The snapshot stays valid — and
+// bit-stable — while ingestion continues and across later evictions of
+// its dataset; the first ingest after a snapshot pays one O(u) table
+// copy. Snapshot panics if rehydration fails (use SnapshotErr for the
+// error-returning form).
 func (d *Dataset) Snapshot() *Snapshot {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.head.sealed = true
-	return &Snapshot{ds: d, st: d.head}
+	s, err := d.SnapshotErr()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SnapshotErr is Snapshot with rehydration failures (missing data dir,
+// corrupt checkpoint, budget exhaustion) reported instead of panicking.
+// For an always-resident dataset it cannot fail.
+func (d *Dataset) SnapshotErr() (*Snapshot, error) {
+	d.touch()
+	var snap *Snapshot
+	err := d.withState(func(st *tableState) error {
+		st.sealed = true
+		snap = &Snapshot{ds: d, st: st}
+		return nil
+	})
+	return snap, err
 }
 
 // Snapshot is a frozen view of a dataset: the aggregate state all prover

@@ -1,0 +1,505 @@
+// Resource governance and durability: the Σ-byte memory budget with LRU
+// eviction to disk, checkpoint persistence, and crash recovery. See the
+// package comment in engine.go for the model.
+//
+// Locking: the engine lock is always acquired before a dataset lock.
+// Residency transitions (evict, rehydrate) happen only with the engine
+// lock held, so admission accounting can never race a transition; the
+// checkpoint I/O inside a transition is performed under both locks,
+// trading some tail latency on the affected dataset for the guarantee
+// that no ingested batch is ever dropped between a save and the table
+// free. Persist, by contrast, seals the head (copy-on-write) and writes
+// outside the locks, so background checkpointing never blocks serving.
+package engine
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/parallel"
+	"repro/internal/store"
+)
+
+// ErrBudget reports that admitting a dataset's tables would exceed the
+// engine's memory budget and eviction could not make room. The wire
+// layer maps it onto its budget-exhausted error frame so clients can
+// distinguish "server full" from a protocol failure.
+var ErrBudget = errors.New("engine: memory budget exceeded")
+
+// ErrPartialRecovery wraps the per-file failures of a Recover scan that
+// still registered every healthy dataset. Callers that want the skip
+// semantics (a bit-rotted file must not take the whole server down)
+// test for it with errors.Is and continue; anything else from Recover
+// is a scan-level failure.
+var ErrPartialRecovery = errors.New("engine: some checkpoints were not recovered")
+
+// ErrCheckpointerRunning reports a StartCheckpointer on an engine whose
+// background checkpointer is already running — harmless when two
+// listeners share one engine and both ask for the same policy.
+var ErrCheckpointerRunning = errors.New("engine: checkpointer already running")
+
+// ckptExt is the checkpoint file suffix in the data dir.
+const ckptExt = ".ckpt"
+
+// fileForName maps a dataset name (arbitrary UTF-8, up to the wire
+// layer's 255 bytes) to a filesystem-safe checkpoint file name.
+func fileForName(name string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(name)) + ckptExt
+}
+
+// nameFromFile inverts fileForName.
+func nameFromFile(file string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(strings.TrimSuffix(file, ckptExt))
+	if err != nil {
+		return "", fmt.Errorf("engine: %q is not a checkpoint file name: %w", file, err)
+	}
+	return string(b), nil
+}
+
+// SetBudget caps the aggregate bytes of resident dataset tables (counts
+// plus field image: 16 bytes per padded universe entry per dataset).
+// Zero or negative removes the cap. The budget is enforced at admission
+// time — Open of a new dataset and rehydration of an evicted one — by
+// evicting least-recently-used datasets to the data dir; without a data
+// dir eviction is impossible and admission simply fails at the cap.
+// Already-resident datasets are not evicted by SetBudget itself.
+func (e *Engine) SetBudget(bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.budget = bytes
+}
+
+// ResidentBytes reports the bytes of dataset tables currently resident —
+// the quantity SetBudget caps.
+func (e *Engine) ResidentBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.resident
+}
+
+// Resident reports whether the dataset's tables are in memory right now.
+// Standalone datasets are always resident; an engine-managed dataset may
+// be evicted between uses and rehydrates transparently.
+func (d *Dataset) Resident() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.head != nil
+}
+
+// SetDataDir names the directory datasets checkpoint to (created if
+// missing). It enables eviction, Persist, StartCheckpointer, and
+// Recover.
+func (e *Engine) SetDataDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dataDir = dir
+	return nil
+}
+
+// touchLocked stamps the dataset most-recently-used. Caller holds e.mu.
+func (e *Engine) touchLocked(d *Dataset) {
+	e.clock++
+	d.lastUse = e.clock
+}
+
+// admitLocked makes room for need bytes of tables, evicting LRU resident
+// datasets (never exclude) until resident+need fits the budget. Caller
+// holds e.mu. A failure is always an ErrBudget.
+func (e *Engine) admitLocked(need int64, exclude *Dataset) error {
+	if e.budget <= 0 {
+		return nil
+	}
+	if need > e.budget {
+		return fmt.Errorf("%w: tables of %d bytes exceed the budget of %d", ErrBudget, need, e.budget)
+	}
+	for e.resident+need > e.budget {
+		if e.dataDir == "" {
+			return fmt.Errorf("%w: %d bytes resident, %d more needed, and no data dir is configured for eviction", ErrBudget, e.resident, need)
+		}
+		victim := e.lruVictimLocked(exclude)
+		if victim == nil {
+			return fmt.Errorf("%w: %d bytes resident, %d more needed, and nothing is left to evict", ErrBudget, e.resident, need)
+		}
+		if err := e.evictLocked(victim); err != nil {
+			return fmt.Errorf("%w: evicting %q failed: %v", ErrBudget, victim.name, err)
+		}
+	}
+	return nil
+}
+
+// lruVictimLocked returns the least-recently-used resident dataset other
+// than exclude, or nil if none. Caller holds e.mu.
+func (e *Engine) lruVictimLocked(exclude *Dataset) *Dataset {
+	var victim *Dataset
+	for _, d := range e.datasets {
+		if d == exclude {
+			continue
+		}
+		d.mu.Lock()
+		resident := d.head != nil
+		d.mu.Unlock()
+		if !resident {
+			continue
+		}
+		if victim == nil || d.lastUse < victim.lastUse {
+			victim = d
+		}
+	}
+	return victim
+}
+
+// saveState checkpoints st for this dataset unless an equal-or-newer
+// checkpoint is already on disk. Writers serialize on saveMu and disk
+// state only moves forward, so a slow save of an older sealed state
+// (e.g. a background Persist racing an eviction) can never regress the
+// file. The caller must guarantee st is not concurrently mutated (hold
+// d.mu, or pass a sealed state).
+func (d *Dataset) saveState(dir string, st *tableState) error {
+	d.saveMu.Lock()
+	defer d.saveMu.Unlock()
+	if d.dropped {
+		return nil // Drop deleted the file; writing would resurrect the dataset
+	}
+	if d.diskHas && st.n <= d.diskN {
+		return nil
+	}
+	if err := store.Save(filepath.Join(dir, fileForName(d.name)), d.checkpointOf(st)); err != nil {
+		return err
+	}
+	d.diskN = st.n
+	d.diskHas = true
+	return nil
+}
+
+// evictLocked checkpoints the dataset if dirty and frees its tables.
+// Caller holds e.mu; the save happens under both locks so a concurrent
+// ingest cannot slip a batch into tables that are about to be freed.
+func (e *Engine) evictLocked(d *Dataset) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.head
+	if st == nil {
+		return nil
+	}
+	if err := d.saveState(e.dataDir, st); err != nil {
+		return err
+	}
+	st.sealed = true // outstanding snapshots may still share these tables
+	d.head = nil
+	e.resident -= tableBytes(d.params.U)
+	return nil
+}
+
+// rehydrate loads an evicted dataset's checkpoint back into memory,
+// subject to admission control. No-op if the dataset is already
+// resident.
+func (e *Engine) rehydrate(d *Dataset) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.mu.Lock()
+	resident := d.head != nil
+	d.mu.Unlock()
+	if resident {
+		return nil
+	}
+	if e.dataDir == "" {
+		return fmt.Errorf("engine: dataset %q is evicted but the engine has no data dir", d.name)
+	}
+	if err := e.admitLocked(tableBytes(d.params.U), d); err != nil {
+		return fmt.Errorf("engine: cannot rehydrate dataset %q: %w", d.name, err)
+	}
+	ckpt, err := store.Load(filepath.Join(e.dataDir, fileForName(d.name)), e.f.Modulus())
+	if err != nil {
+		return fmt.Errorf("engine: rehydrating dataset %q: %w", d.name, err)
+	}
+	st, err := d.stateFromCheckpoint(ckpt)
+	if err != nil {
+		return fmt.Errorf("engine: rehydrating dataset %q: %w", d.name, err)
+	}
+	d.saveMu.Lock()
+	if !d.diskHas || st.n > d.diskN {
+		d.diskN = st.n
+		d.diskHas = true
+	}
+	d.saveMu.Unlock()
+	d.mu.Lock()
+	d.head = st
+	d.nMeta = st.n
+	d.mu.Unlock()
+	e.resident += tableBytes(d.params.U)
+	e.touchLocked(d)
+	return nil
+}
+
+// checkpointOf packages a sealed-or-stable table state for the codec.
+// Caller must guarantee st is not concurrently mutated.
+func (d *Dataset) checkpointOf(st *tableState) *store.Checkpoint {
+	return &store.Checkpoint{
+		Universe: d.origU,
+		Modulus:  d.f.Modulus(),
+		Total:    st.total,
+		Updates:  st.n,
+		Counts:   st.counts,
+	}
+}
+
+// checkCheckpoint verifies a structurally valid checkpoint actually
+// belongs to this dataset's geometry.
+func (d *Dataset) checkCheckpoint(ckpt *store.Checkpoint) error {
+	if ckpt.Universe != d.origU {
+		return fmt.Errorf("checkpoint universe %d, dataset has %d", ckpt.Universe, d.origU)
+	}
+	if uint64(len(ckpt.Counts)) != d.params.U {
+		return fmt.Errorf("checkpoint table length %d, dataset pads to %d", len(ckpt.Counts), d.params.U)
+	}
+	return nil
+}
+
+// stateFromCheckpoint rebuilds live tables from a checkpoint: the counts
+// are taken as-is, the field image is recomputed (it is a deterministic
+// function of the counts, so an evict/rehydrate cycle is bit-exact).
+func (d *Dataset) stateFromCheckpoint(ckpt *store.Checkpoint) (*tableState, error) {
+	if err := d.checkCheckpoint(ckpt); err != nil {
+		return nil, err
+	}
+	st := &tableState{
+		counts: ckpt.Counts,
+		elems:  make([]field.Elem, len(ckpt.Counts)),
+		total:  ckpt.Total,
+		n:      ckpt.Updates,
+	}
+	f := d.f
+	rebuild := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.elems[i] = f.FromInt64(st.counts[i])
+		}
+	}
+	if nw := parallel.Workers(d.workers); nw > 1 && len(st.counts) >= minShardBatch {
+		parallel.ForGrain(nw, len(st.counts), 1<<12, func(_, lo, hi int) { rebuild(lo, hi) })
+	} else {
+		rebuild(0, len(st.counts))
+	}
+	return st, nil
+}
+
+// Persist checkpoints every dirty dataset to the data dir and returns
+// the first errors encountered (joined). The head is sealed before the
+// write, so saving proceeds outside the locks while ingestion continues
+// against a copy-on-write clone; the crash-loss window of a server that
+// persists every t is therefore at most t of ingestion.
+func (e *Engine) Persist() error {
+	e.mu.Lock()
+	dir := e.dataDir
+	all := make([]*Dataset, 0, len(e.datasets))
+	for _, d := range e.datasets {
+		all = append(all, d)
+	}
+	e.mu.Unlock()
+	if dir == "" {
+		return fmt.Errorf("engine: Persist needs a data dir (SetDataDir)")
+	}
+	var errs []error
+	for _, d := range all {
+		// Peek at the disk watermark to skip sealing clean datasets (the
+		// peek is advisory: saveState re-checks under its own lock).
+		d.saveMu.Lock()
+		diskN, diskHas := d.diskN, d.diskHas
+		d.saveMu.Unlock()
+		d.mu.Lock()
+		st := d.head
+		if st == nil || (diskHas && st.n == diskN) {
+			d.mu.Unlock()
+			continue // evicted datasets were saved on eviction; clean ones are on disk already
+		}
+		st.sealed = true
+		d.mu.Unlock()
+		if err := d.saveState(dir, st); err != nil {
+			errs = append(errs, fmt.Errorf("dataset %q: %w", d.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Recover scans the data dir and registers every checkpointed dataset,
+// validating each file fully (checksum, version, field). Datasets are
+// loaded resident until the memory budget fills, then registered
+// evicted — they rehydrate on first use. Names already registered are
+// skipped, so Recover is idempotent and safe on a shared engine. It
+// returns how many datasets were recovered; per-file failures never
+// abort the scan — they are joined under ErrPartialRecovery so callers
+// can warn and keep serving the healthy datasets.
+func (e *Engine) Recover() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dataDir == "" {
+		return 0, fmt.Errorf("engine: Recover needs a data dir (SetDataDir)")
+	}
+	ents, err := os.ReadDir(e.dataDir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var errs []error
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ckptExt) {
+			continue
+		}
+		name, err := nameFromFile(ent.Name())
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if _, ok := e.datasets[name]; ok {
+			continue
+		}
+		if e.maxDatasets > 0 && len(e.datasets) >= e.maxDatasets {
+			errs = append(errs, fmt.Errorf("engine: dataset limit of %d reached; %q not recovered", e.maxDatasets, name))
+			continue
+		}
+		ckpt, err := store.Load(filepath.Join(e.dataDir, ent.Name()), e.f.Modulus())
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		// A shell only: tables are rebuilt below iff the dataset will
+		// actually be resident — an over-budget fleet restarts without
+		// paying O(u) per dataset it is not going to keep in memory.
+		ds, err := newDatasetShell(e.f, ckpt.Universe, e.workers)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("dataset %q: %w", name, err))
+			continue
+		}
+		ds.name = name
+		ds.eng = e
+		if err := ds.checkCheckpoint(ckpt); err != nil {
+			errs = append(errs, fmt.Errorf("dataset %q: %w", name, err))
+			continue
+		}
+		size := tableBytes(ds.params.U)
+		if e.budget <= 0 || e.resident+size <= e.budget {
+			st, err := ds.stateFromCheckpoint(ckpt)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("dataset %q: %w", name, err))
+				continue
+			}
+			ds.head = st
+			e.resident += size
+		} // else: stays evicted (head nil) until first use
+		ds.nMeta = ckpt.Updates
+		ds.diskN = ckpt.Updates
+		ds.diskHas = true
+		e.touchLocked(ds)
+		e.datasets[name] = ds
+		n++
+	}
+	if len(errs) > 0 {
+		return n, fmt.Errorf("%w: %w", ErrPartialRecovery, errors.Join(errs...))
+	}
+	return n, nil
+}
+
+// removeCheckpointLocked deletes the dataset's checkpoint file, if any.
+// Caller holds e.mu.
+func (e *Engine) removeCheckpointLocked(name string) {
+	if e.dataDir != "" {
+		_ = os.Remove(filepath.Join(e.dataDir, fileForName(name)))
+	}
+}
+
+// StartCheckpointer persists dirty datasets every interval on a
+// background goroutine until Close, bounding crash loss to one interval
+// of ingestion. Background failures are retained and surfaced by Close.
+func (e *Engine) StartCheckpointer(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("engine: checkpoint interval must be positive, got %v", interval)
+	}
+	e.mu.Lock()
+	if e.dataDir == "" {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: StartCheckpointer needs a data dir (SetDataDir)")
+	}
+	if e.ckptStop != nil {
+		e.mu.Unlock()
+		return ErrCheckpointerRunning
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	e.ckptStop, e.ckptDone = stop, done
+	e.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := e.Persist(); err != nil {
+					e.mu.Lock()
+					e.ckptErr = err
+					e.mu.Unlock()
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Close stops the background checkpointer (if running) and, when a data
+// dir is configured, persists all dirty datasets one final time. It
+// returns any retained background checkpoint failure joined with the
+// final persist's. The engine remains usable after Close; Close exists
+// to make shutdown loss-free.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	stop, done := e.ckptStop, e.ckptDone
+	e.ckptStop, e.ckptDone = nil, nil
+	dir := e.dataDir
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	e.mu.Lock()
+	bgErr := e.ckptErr
+	e.ckptErr = nil
+	e.mu.Unlock()
+	if dir == "" {
+		return bgErr
+	}
+	return errors.Join(bgErr, e.Persist())
+}
+
+// SnapshotFromCounts builds a standalone frozen snapshot whose state is
+// exactly the given counts — no stream is replayed. It exists for the
+// wire layer's dishonest-cloud hook: the cheat rewrites a clone of the
+// maintained counts and proves from the result, so the v1 path needs no
+// raw-stream retention. Σδ is taken as Σ counts (the two are equal for
+// any update stream producing these counts).
+func SnapshotFromCounts(f field.Field, u uint64, workers int, counts []int64) (*Snapshot, error) {
+	ds, err := NewDataset(f, u, workers)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(counts)) > ds.params.U {
+		return nil, fmt.Errorf("engine: %d counts exceed the padded universe %d", len(counts), ds.params.U)
+	}
+	st := ds.head
+	copy(st.counts, counts)
+	for i, c := range counts {
+		st.elems[i] = f.FromInt64(c)
+		st.total += c
+	}
+	st.sealed = true
+	return &Snapshot{ds: ds, st: st}, nil
+}

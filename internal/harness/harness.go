@@ -355,6 +355,95 @@ func AmortizedF2(f field.Field, u uint64, n, queries int, seed uint64, workers i
 }
 
 // ---------------------------------------------------------------------
+// Durability: what eviction costs a query. A dataset under a one-dataset
+// memory budget is forced to disk and back; the cold query pays the
+// checkpoint load + field-image rebuild, the warm query only the O(1)
+// snapshot + prover construction.
+
+// ColdWarmRow is one data point of the cold-vs-warm query experiment.
+type ColdWarmRow struct {
+	U          uint64
+	N          uint64
+	IngestOnce time.Duration // one-time batch ingestion
+	ColdSetup  time.Duration // rehydrate from checkpoint + prover construction
+	WarmSetup  time.Duration // resident snapshot + prover construction
+	ProveCold  time.Duration // conversation time against the rehydrated tables
+	ProveWarm  time.Duration // conversation time against resident tables
+	Accepted   bool          // both conversations verified
+}
+
+// ColdWarmF2 ingests a unit-increment stream of length n over [0, u)
+// into a budgeted, durable engine rooted at dir, evicts the dataset by
+// admitting a decoy, then times an F2 query cold (transparent
+// rehydration) and warm (already resident). Transcripts are identical
+// either way; only setup latency differs.
+func ColdWarmF2(f field.Field, u uint64, n int, seed uint64, workers int, dir string) (ColdWarmRow, error) {
+	row := ColdWarmRow{U: u, N: uint64(n)}
+	params, err := lde.ParamsForUniverse(u, 2)
+	if err != nil {
+		return row, err
+	}
+	eng := engine.New(f, workers)
+	if err := eng.SetDataDir(dir); err != nil {
+		return row, err
+	}
+	eng.SetBudget(int64(params.U) * 16) // exactly one resident dataset
+
+	ups := stream.UnitIncrements(u, n, field.NewSplitMix64(seed))
+	hot, err := eng.Open("hot", u)
+	if err != nil {
+		return row, err
+	}
+	t0 := time.Now()
+	if err := hot.Ingest(ups); err != nil {
+		return row, err
+	}
+	row.IngestOnce = time.Since(t0)
+	if _, err := eng.Open("decoy", u); err != nil { // evicts "hot"
+		return row, err
+	}
+	if hot.Resident() {
+		return row, fmt.Errorf("harness: decoy admission did not evict the dataset")
+	}
+
+	proto, err := core.NewSelfJoinSize(f, u)
+	if err != nil {
+		return row, err
+	}
+	proto.Workers = workers
+	query := func(vSeed uint64) (setup, prove time.Duration, err error) {
+		v := proto.NewVerifier(field.NewSplitMix64(vSeed))
+		if err := v.ObserveBatch(ups, workers); err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		snap, err := hot.SnapshotErr()
+		if err != nil {
+			return 0, 0, err
+		}
+		p, err := snap.NewProver(engine.QuerySelfJoinSize, engine.QueryParams{})
+		if err != nil {
+			return 0, 0, err
+		}
+		setup = time.Since(t0)
+		tp := &timedProver{inner: p}
+		if _, err := core.Run(tp, v); err != nil {
+			return 0, 0, err
+		}
+		return setup, tp.elapsed, nil
+	}
+	if row.ColdSetup, row.ProveCold, err = query(seed + 1); err != nil {
+		return row, err
+	}
+	// The dataset is resident now; the second query is warm.
+	if row.WarmSetup, row.ProveWarm, err = query(seed + 2); err != nil {
+		return row, err
+	}
+	row.Accepted = true
+	return row, nil
+}
+
+// ---------------------------------------------------------------------
 // Tamper suite (§5 in-text: "In all cases, the protocols caught the
 // error, and rejected the proof.")
 

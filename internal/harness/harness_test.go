@@ -191,3 +191,19 @@ func TestAmortizedF2(t *testing.T) {
 		t.Error("zero queries accepted")
 	}
 }
+
+func TestColdWarmF2(t *testing.T) {
+	row, err := ColdWarmF2(f61, 1<<10, 1<<12, 56, 0, t.TempDir())
+	if err != nil {
+		t.Fatalf("cold/warm run errored: %v", err)
+	}
+	if !row.Accepted {
+		t.Fatal("honest run not accepted")
+	}
+	if row.ColdSetup <= 0 || row.WarmSetup <= 0 || row.IngestOnce <= 0 {
+		t.Errorf("missing timings: %+v", row)
+	}
+	// The cold query pays the checkpoint load; timing assertions beyond
+	// positivity would flake, but the transcripts' acceptance above is
+	// the correctness contract.
+}

@@ -487,11 +487,9 @@ func TestIdleTimeoutDoesNotKillActiveClients(t *testing.T) {
 }
 
 // TestDishonestServerRejectedV2Unaffected: the Corrupt hook only touches
-// the v1 replay path; v2 datasets stay honest.
+// the v1 path; v2 datasets stay honest.
 func TestDishonestServerRejectedV2Unaffected(t *testing.T) {
-	addr, stop := startServerOpts(t, &Server{F: f61, Corrupt: func(ups []stream.Update) []stream.Update {
-		return ups[:len(ups)-1]
-	}})
+	addr, stop := startServerOpts(t, &Server{F: f61, Corrupt: dropOneItem})
 	defer stop()
 
 	const u = 256

@@ -56,6 +56,7 @@ const (
 	frameError     = 0x08 // server→client: error text
 	frameOpen      = 0x09 // client→server: attach to named dataset (v2)
 	frameOK        = 0x0a // server→client: ack with dataset update count (v2)
+	frameBudget    = 0x0b // server→client: admission refused, memory budget exhausted
 )
 
 // QueryKind enumerates the queries the server answers; the values live in
@@ -105,6 +106,13 @@ const DefaultMaxPrivateDatasets = 32
 
 // ErrProtocol reports a malformed or unexpected frame.
 var ErrProtocol = errors.New("wire: protocol error")
+
+// ErrBudget is the engine's admission failure: the server's resident
+// memory budget is exhausted and eviction could not make room. It
+// travels the wire as its own frame type, so a client distinguishes
+// "server full, retry later or elsewhere" from a protocol violation
+// with errors.Is(err, wire.ErrBudget).
+var ErrBudget = engine.ErrBudget
 
 // ErrServerClosed is returned by Server.Serve after Server.Close,
 // mirroring net/http.ErrServerClosed: an intentional shutdown is not a
@@ -288,22 +296,41 @@ type Server struct {
 	// lifetime). Zero selects DefaultMaxPrivateDatasets; negative means
 	// no cap.
 	MaxPrivateDatasets int
-	// Corrupt, when non-nil, rewrites the stored stream before proving —
-	// a hook for the dishonest-cloud experiments and tests. It applies to
-	// v1 connections only (the honest engine path never retains the raw
-	// stream to corrupt).
-	Corrupt func([]stream.Update) []stream.Update
+	// MemBudget caps the engine's aggregate resident dataset memory in
+	// bytes (engine.SetBudget). When admission would exceed it, LRU
+	// datasets are evicted to DataDir; with no DataDir the open or
+	// ingest fails with a budget error frame. Zero means unlimited.
+	MemBudget int64
+	// DataDir is the checkpoint directory. When set, Serve configures
+	// the engine with it and recovers every checkpointed dataset before
+	// accepting connections, so a restarted server answers queries over
+	// its previous datasets with no re-ingestion.
+	DataDir string
+	// CheckpointEvery starts the engine's background checkpointer at
+	// that interval (requires DataDir): a crash loses at most the last
+	// interval of ingestion. Zero disables background checkpointing.
+	CheckpointEvery time.Duration
+	// Corrupt, when non-nil, rewrites a clone of the maintained counts
+	// before proving — a hook for the dishonest-cloud experiments and
+	// tests. It applies to v1 connections only and costs O(u), not
+	// O(stream): no raw stream is retained anywhere in the server.
+	Corrupt func(counts []int64) []int64
 
-	mu      sync.Mutex
-	ln      net.Listener
-	closed  bool
-	v1Alive int // v1 connections currently holding a private dataset
+	mu        sync.Mutex
+	ln        net.Listener
+	closed    bool
+	inited    bool // engine configured (budget/data dir/recovery) by Serve
+	ownEngine bool // engine was created by this server (Close may close it)
+	v1Alive   int  // v1 connections currently holding a private dataset
 }
 
 // Serve accepts connections until the listener closes. Each connection is
-// served on its own goroutine. After an intentional Close, Serve returns
-// ErrServerClosed rather than the listener's "use of closed network
-// connection" error.
+// served on its own goroutine. Before accepting, Serve applies the
+// server's resource/durability configuration to the engine (MemBudget,
+// DataDir with a recovery scan, CheckpointEvery); a failed recovery
+// refuses to serve rather than silently dropping datasets. After an
+// intentional Close, Serve returns ErrServerClosed rather than the
+// listener's "use of closed network connection" error.
 func (s *Server) Serve(ln net.Listener) error {
 	// As in net/http, Serve on an already-closed server refuses without
 	// touching (or registering) the caller's listener — a later Close must
@@ -315,6 +342,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	if err := s.engineInit(); err != nil {
+		return err
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -329,25 +359,85 @@ func (s *Server) Serve(ln net.Listener) error {
 		go func() {
 			defer conn.Close()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-				_ = s.write(conn, frameError, []byte(err.Error()))
+				typ := byte(frameError)
+				if errors.Is(err, engine.ErrBudget) {
+					typ = frameBudget
+				}
+				_ = s.write(conn, typ, []byte(err.Error()))
 			}
 		}()
 	}
 }
 
-// Close stops the listener; a Serve in flight (or started later) returns
-// ErrServerClosed. Close is idempotent — each served listener is closed
-// at most once.
-func (s *Server) Close() error {
+// engineInit configures the engine once per server: budget, data dir,
+// startup recovery of checkpointed datasets, background checkpointing.
+// It runs under the server lock, so Serve never accepts before recovery
+// finishes, and inited is set only on success — a failed init (say, an
+// unwritable data dir) is retried by the next Serve instead of being
+// silently skipped.
+func (s *Server) engineInit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.inited {
+		return nil
+	}
+	if s.Engine == nil {
+		s.Engine = engine.New(s.F, s.Workers)
+		s.Engine.SetMaxDatasets(DefaultMaxDatasets)
+		s.ownEngine = true
+	}
+	eng := s.Engine
+	if s.MemBudget > 0 {
+		eng.SetBudget(s.MemBudget)
+	}
+	if s.DataDir != "" {
+		if err := eng.SetDataDir(s.DataDir); err != nil {
+			return fmt.Errorf("wire: data dir: %w", err)
+		}
+		if _, err := eng.Recover(); err != nil && !errors.Is(err, engine.ErrPartialRecovery) {
+			// A damaged file must not take the server down (its healthy
+			// datasets were still registered — skip semantics); only a
+			// scan-level failure refuses to serve.
+			return fmt.Errorf("wire: recovering datasets: %w", err)
+		}
+		if s.CheckpointEvery > 0 {
+			if err := eng.StartCheckpointer(s.CheckpointEvery); err != nil && !errors.Is(err, engine.ErrCheckpointerRunning) {
+				// Already-running is fine: another listener sharing this
+				// engine started it.
+				return fmt.Errorf("wire: checkpointer: %w", err)
+			}
+		}
+	}
+	s.inited = true
+	return nil
+}
+
+// Close stops the listener; a Serve in flight (or started later) returns
+// ErrServerClosed. Close is idempotent — each served listener is closed
+// at most once. If this server created its own engine and configured
+// persistence (DataDir), Close also closes the engine — the background
+// checkpointer stops and dirty datasets are persisted one final time,
+// so an orderly shutdown is loss-free. A caller-supplied Engine is left
+// running (it may be shared with other listeners); its owner calls
+// engine.Close.
+func (s *Server) Close() error {
+	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
 	s.ln = nil
+	eng := s.Engine
+	persist := s.ownEngine && s.inited && s.DataDir != ""
+	s.mu.Unlock()
+	var lnErr error
 	if ln != nil {
-		return ln.Close()
+		lnErr = ln.Close()
 	}
-	return nil
+	if persist && eng != nil {
+		if err := eng.Close(); err != nil {
+			return err
+		}
+	}
+	return lnErr
 }
 
 // engineRef returns the shared engine, creating it (with the default
@@ -358,6 +448,7 @@ func (s *Server) engineRef() *engine.Engine {
 	if s.Engine == nil {
 		s.Engine = engine.New(s.F, s.Workers)
 		s.Engine.SetMaxDatasets(DefaultMaxDatasets)
+		s.ownEngine = true
 	}
 	return s.Engine
 }
@@ -428,11 +519,7 @@ const (
 
 func (s *Server) handle(conn net.Conn) error {
 	st := connStart
-	var (
-		ds  *engine.Dataset // v1: private; v2: shared named dataset
-		u   uint64          // v1 universe (for the Corrupt replay path)
-		raw []stream.Update // v1 raw stream, retained only when Corrupt is set
-	)
+	var ds *engine.Dataset // v1: private; v2: shared named dataset
 	v1Slot := false
 	defer func() {
 		if v1Slot {
@@ -452,7 +539,7 @@ func (s *Server) handle(conn net.Conn) error {
 			if len(payload) != 8 {
 				return fmt.Errorf("%w: hello frame", ErrProtocol)
 			}
-			u = binary.LittleEndian.Uint64(payload)
+			u := binary.LittleEndian.Uint64(payload)
 			if err := s.checkUniverse(u); err != nil {
 				return err
 			}
@@ -460,12 +547,10 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			v1Slot = true
-			// A cheating server proves from the retained raw stream, so
-			// maintained state would never be read — skip it.
-			if s.Corrupt == nil {
-				if ds, err = engine.NewDataset(s.F, u, s.Workers); err != nil {
-					return err
-				}
+			// Honest or cheating, the connection maintains only the dense
+			// aggregate state: O(u) memory, independent of stream length.
+			if ds, err = engine.NewDataset(s.F, u, s.Workers); err != nil {
+				return err
 			}
 			st = connV1Load
 		case frameOpen:
@@ -494,15 +579,8 @@ func (s *Server) handle(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			if st == connV1Load && s.Corrupt != nil {
-				for i := range idx {
-					raw = append(raw, stream.Update{Index: idx[i], Delta: deltas[i]})
-				}
-			}
-			if ds != nil {
-				if err := ds.IngestColumns(idx, deltas); err != nil {
-					return err
-				}
+			if err := ds.IngestColumns(idx, deltas); err != nil {
+				return err
 			}
 			if st == connV2 {
 				if err := s.write(conn, frameOK, encodeCount(ds.Updates())); err != nil {
@@ -522,13 +600,21 @@ func (s *Server) handle(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			var session core.ProverSession
-			if st == connV1Done && s.Corrupt != nil {
-				ups := s.Corrupt(append([]stream.Update(nil), raw...))
-				session, err = BuildProver(s.F, u, kind, params, ups, s.Workers)
-			} else {
-				session, err = ds.Snapshot().NewProver(kind, params)
+			// Snapshots rehydrate evicted v2 datasets transparently; the
+			// admission control inside can refuse with a budget error.
+			snap, err := ds.SnapshotErr()
+			if err != nil {
+				return err
 			}
+			if st == connV1Done && s.Corrupt != nil {
+				// The dishonest cloud rewrites a clone of its maintained
+				// counts and proves from the doctored state.
+				counts := s.Corrupt(append([]int64(nil), snap.Counts()...))
+				if snap, err = engine.SnapshotFromCounts(s.F, ds.UniverseSize(), s.Workers, counts); err != nil {
+					return err
+				}
+			}
+			session, err := snap.NewProver(kind, params)
 			if err != nil {
 				return err
 			}
@@ -577,13 +663,13 @@ func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
 }
 
 // BuildProver constructs the prover session for a query by replaying a
-// raw stream through the session's Observe path. The serving path no
-// longer does this — provers come from dataset snapshots — but the replay
-// construction remains as the dishonest-cloud hook (Corrupt rewrites the
-// stream before it is replayed) and as the baseline the amortization
-// benchmarks and the engine's transcript-equality tests compare against.
-// workers is the prover's parallel fan-out (0 serial, n < 0
-// runtime.NumCPU()); the transcript is identical for every value.
+// raw stream through the session's Observe path. The serving path never
+// does this — provers come from dataset snapshots, and even the
+// dishonest-cloud hook rewrites maintained counts — but the replay
+// construction remains as the baseline the amortization benchmarks and
+// the engine's transcript-equality tests compare against. workers is the
+// prover's parallel fan-out (0 serial, n < 0 runtime.NumCPU()); the
+// transcript is identical for every value.
 func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, ups []stream.Update, workers int) (core.ProverSession, error) {
 	observe := func(obs interface{ Observe(stream.Update) error }) error {
 		for _, up := range ups {
@@ -852,6 +938,8 @@ func (c *Client) readOK() (uint64, error) {
 	switch typ {
 	case frameOK:
 		return decodeCount(payload)
+	case frameBudget:
+		return 0, fmt.Errorf("%w: %s", ErrBudget, payload)
 	case frameError:
 		return 0, fmt.Errorf("wire: server error: %s", payload)
 	default:
@@ -912,6 +1000,8 @@ func (c *Client) readProverMsg() (core.Msg, error) {
 	switch typ {
 	case frameProver:
 		return decodeMsg(payload)
+	case frameBudget:
+		return core.Msg{}, fmt.Errorf("%w: %s", ErrBudget, payload)
 	case frameError:
 		return core.Msg{}, fmt.Errorf("wire: server error: %s", payload)
 	default:

@@ -12,9 +12,26 @@ import (
 
 var f61 = field.Mersenne()
 
+// dropOneItem is the canonical cheating cloud: it removes a single item
+// from the maintained counts (the state a server that "lost" the last
+// update would hold).
+func dropOneItem(counts []int64) []int64 {
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			counts[i]--
+			return counts
+		}
+		if counts[i] < 0 {
+			counts[i]++
+			return counts
+		}
+	}
+	return counts
+}
+
 // startServer runs a Server on a loopback listener and returns its
 // address and a shutdown func.
-func startServer(t *testing.T, corrupt func([]stream.Update) []stream.Update) (string, func()) {
+func startServer(t *testing.T, corrupt func([]int64) []int64) (string, func()) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -187,12 +204,11 @@ func TestEndToEndQueries(t *testing.T) {
 	}
 }
 
-// TestDishonestServerRejected: a cloud that silently drops an update is
-// caught by the client's verifier over the wire.
+// TestDishonestServerRejected: a cloud that silently loses an item from
+// its maintained counts is caught by the client's verifier over the
+// wire.
 func TestDishonestServerRejected(t *testing.T) {
-	addr, stop := startServer(t, func(ups []stream.Update) []stream.Update {
-		return ups[:len(ups)-1]
-	})
+	addr, stop := startServer(t, dropOneItem)
 	defer stop()
 
 	const u = 256

@@ -65,6 +65,30 @@
 // An Engine names datasets so many connections (see internal/wire's v2
 // protocol, cmd/sipserver and cmd/sipclient) share them.
 //
+// # Durability and memory governance
+//
+// The prover carries the O(u) state in this protocol family, so a
+// long-lived multi-tenant engine must govern that state explicitly. An
+// Engine can be given a data directory and a memory budget:
+//
+//	eng := sip.NewEngine(sip.Mersenne(), -1)
+//	eng.SetDataDir("/var/lib/sip")      // enables checkpoints + eviction
+//	eng.SetBudget(1 << 30)              // Σ resident table bytes across datasets
+//	eng.StartCheckpointer(30 * time.Second)
+//	defer eng.Close()                   // stop + final flush: loss-free shutdown
+//	n, _ := eng.Recover()               // after a restart: reload every dataset
+//
+// Admission control at Open (and at rehydration) keeps resident tables
+// under the budget by evicting least-recently-used datasets: each one
+// checkpoints to the data dir (a versioned, checksummed, atomically
+// renamed file), frees its tables, and rehydrates transparently on its
+// next use — query transcripts are bit-identical across an
+// evict/rehydrate cycle. When eviction cannot make room, admission
+// fails with ErrBudget. Persist checkpoints dirty datasets on demand;
+// StartCheckpointer does it on an interval, bounding crash loss to that
+// interval; Recover rebuilds the registry from the data dir after a
+// restart, so no stream is ever re-ingested.
+//
 // For production the verifier's randomness must come from
 // sip.NewCryptoRNG(); deterministic seeds are for tests and experiments.
 package sip
@@ -119,6 +143,11 @@ type TamperedProver = core.TamperedProver
 
 // ErrRejected is returned (wrapped) whenever a verifier refuses a proof.
 var ErrRejected = core.ErrRejected
+
+// ErrBudget is returned (wrapped) when admitting a dataset's tables
+// would exceed the engine's memory budget (Engine.SetBudget) and
+// evicting least-recently-used datasets could not make room.
+var ErrBudget = engine.ErrBudget
 
 // Mersenne returns the default field Z_p with p = 2^61 - 1, the modulus
 // used throughout the paper's experiments.
@@ -180,7 +209,10 @@ const (
 )
 
 // NewEngine returns an empty dataset registry. workers is the prover
-// fan-out handed to every dataset (0 serial, -1 all cores).
+// fan-out handed to every dataset (0 serial, -1 all cores). The engine
+// starts memory-only and unbudgeted; see Engine.SetDataDir,
+// Engine.SetBudget, Engine.Persist, Engine.StartCheckpointer,
+// Engine.Recover, and Engine.Close for durability and governance.
 func NewEngine(f Field, workers int) *Engine { return engine.New(f, workers) }
 
 // NewDataset returns a standalone dataset over a universe of size ≥ u.
