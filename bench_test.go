@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/ccm"
@@ -679,6 +680,106 @@ func BenchmarkCheckpointLoad(b *testing.B) {
 	}
 	bytes := float64(8 * len(ckpt.Counts))
 	b.ReportMetric(bytes*float64(b.N)/b.Elapsed().Seconds()/(1<<20), "MB/s")
+}
+
+// BenchmarkConcurrentRehydrate: k = 4 datasets rehydrated at once, the
+// fleet shape the per-dataset residency latch exists for. Eight
+// datasets (4 mains + 4 decoys) share a four-dataset budget, so every
+// sweep over one group forces the other to disk. "serial" issues the
+// four main rehydrations one after another — the effective behavior of
+// an engine whose checkpoint I/O runs under the engine lock — and
+// "overlapped" issues them from four goroutines; with the latch, the
+// loads and O(u) field-image rebuilds proceed outside the engine lock,
+// so the overlapped wall-clock approaches 1× the single-dataset cost
+// instead of 4×. Dataset workers are 0 (serial per-dataset rebuild) so
+// the measured speedup isolates cross-dataset overlap. The acceptance
+// bar for PR 4 is ≥1.5× serial/overlapped at log u = 18.
+func BenchmarkConcurrentRehydrate(b *testing.B) {
+	const (
+		logu = 18
+		k    = 4
+	)
+	u := uint64(1) << logu
+	setup := func(b *testing.B) (mains, decoys [k]*engine.Dataset) {
+		b.Helper()
+		eng := engine.New(f61, 0)
+		if err := eng.SetDataDir(b.TempDir()); err != nil {
+			b.Fatal(err)
+		}
+		eng.SetBudget(int64(u) * 16 * k)
+		ups := amortUpdates(u)
+		for i := 0; i < k; i++ {
+			ds, err := eng.Open(fmt.Sprintf("main%d", i), u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ds.Ingest(ups); err != nil {
+				b.Fatal(err)
+			}
+			mains[i] = ds
+		}
+		for i := 0; i < k; i++ {
+			ds, err := eng.Open(fmt.Sprintf("decoy%d", i), u) // evicts the mains
+			if err != nil {
+				b.Fatal(err)
+			}
+			decoys[i] = ds
+		}
+		// One full warm-up cycle so every checkpoint is on disk and every
+		// later eviction is a clean, instant one.
+		for _, m := range mains {
+			if _, err := m.SnapshotErr(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, d := range decoys {
+			if _, err := d.SnapshotErr(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return mains, decoys
+	}
+	run := func(b *testing.B, overlap bool) {
+		mains, decoys := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Sweep the decoys back in: the mains go to disk.
+			for _, d := range decoys {
+				if _, err := d.SnapshotErr(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, m := range mains {
+				if m.Resident() {
+					b.Fatal("main still resident after the decoy sweep")
+				}
+			}
+			b.StartTimer()
+			if overlap {
+				var wg sync.WaitGroup
+				for _, m := range mains {
+					wg.Add(1)
+					go func(m *engine.Dataset) {
+						defer wg.Done()
+						if _, err := m.SnapshotErr(); err != nil {
+							b.Error(err)
+						}
+					}(m)
+				}
+				wg.Wait()
+			} else {
+				for _, m := range mains {
+					if _, err := m.SnapshotErr(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "rehydrates/s")
+	}
+	b.Run(fmt.Sprintf("serial/logu=%d/k=%d", logu, k), func(b *testing.B) { run(b, false) })
+	b.Run(fmt.Sprintf("overlapped/logu=%d/k=%d", logu, k), func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkRehydrateQuery: cold query setup under a one-dataset budget.

@@ -21,7 +21,14 @@
 // bounded by that interval), a restart recovers every checkpointed
 // dataset with no re-ingestion, and -mem-budget caps resident table
 // memory across all datasets — the least-recently-used ones spill to
-// disk and rehydrate transparently when queried.
+// disk and rehydrate transparently when queried. Checkpoint I/O runs
+// outside the engine lock (per-dataset residency latch), so concurrent
+// evictions and rehydrations of different datasets overlap.
+//
+// The budget governs v1 private datasets too: every hello is charged
+// for its O(u) tables (refused with a budget error when the server is
+// full) and released when the connection ends. -max-private remains as
+// a count backstop for servers running without -mem-budget.
 //
 // The -cheat-drop flag exists to demonstrate, end to end over a real
 // socket, that a cheating cloud is caught: every v1 query against a
@@ -48,6 +55,7 @@ func main() {
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle for this long (0 = never)")
 	maxLogu := flag.Int("max-logu", 26, "largest log2 universe a client may open")
 	maxDatasets := flag.Int("max-datasets", wire.DefaultMaxDatasets, "cap on named datasets")
+	maxPrivate := flag.Int("max-private", wire.DefaultMaxPrivateDatasets, "count backstop on concurrent v1 private datasets (-1 = no cap; the byte-level defense is -mem-budget)")
 	dataDir := flag.String("data-dir", "", "checkpoint directory: enables eviction, durability, and restart recovery")
 	memBudget := flag.Int64("mem-budget", 0, "aggregate resident dataset memory in bytes; LRU datasets evict to -data-dir (0 = unlimited)")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval for dirty datasets (needs -data-dir; 0 = only on eviction/shutdown)")
@@ -63,13 +71,14 @@ func main() {
 	eng := engine.New(f, *workers)
 	eng.SetMaxDatasets(*maxDatasets)
 	srv := &wire.Server{
-		F:           f,
-		Workers:     *workers,
-		Engine:      eng,
-		IdleTimeout: *idle,
-		MaxUniverse: uint64(1) << *maxLogu,
-		MemBudget:   *memBudget,
-		DataDir:     *dataDir,
+		F:                  f,
+		Workers:            *workers,
+		Engine:             eng,
+		IdleTimeout:        *idle,
+		MaxUniverse:        uint64(1) << *maxLogu,
+		MaxPrivateDatasets: *maxPrivate,
+		MemBudget:          *memBudget,
+		DataDir:            *dataDir,
 	}
 	if *dataDir != "" {
 		srv.CheckpointEvery = *ckptEvery

@@ -42,7 +42,13 @@
 //   - SetDataDir names the checkpoint directory (internal/store codec);
 //     evicted datasets checkpoint there, free their tables, and
 //     rehydrate transparently on the next use, with transcripts
-//     bit-identical across the cycle.
+//     bit-identical across the cycle. Each dataset carries its own
+//     residency latch, so the checkpoint I/O of one dataset's
+//     transition never blocks another's — concurrent rehydrations
+//     overlap instead of serializing on the engine lock.
+//   - AdmitBytes / ReleaseBytes charge caller-managed state (the wire
+//     layer's v1 private datasets) against the same Σ budget, so every
+//     byte of prover state on the server answers to one governor.
 //   - Persist / StartCheckpointer write dirty datasets back on demand or
 //     on an interval, and Recover rebuilds the registry from the data
 //     dir after a restart, so a crash loses at most the last interval.
@@ -71,23 +77,30 @@ type Engine struct {
 	maxDatasets int
 
 	// Resource governance + durability (persist.go). Residency
-	// transitions — eviction and rehydration — happen only with mu held,
-	// so a dataset observed resident under its own lock stays resident
-	// for the duration of that critical section.
-	budget   int64  // Σ-byte cap on resident head tables (0 = unlimited)
-	resident int64  // bytes of head tables currently resident
-	dataDir  string // checkpoint directory ("" = memory-only engine)
-	clock    uint64 // LRU clock; bumped on every dataset touch
+	// transitions *begin* only with mu held — admission accounting can
+	// never race a transition's start — but the checkpoint I/O of a
+	// transition runs outside every lock; each dataset carries its own
+	// latch (Dataset.res + resCond) that its users wait on, so k
+	// transitions of distinct datasets overlap.
+	budget      int64      // Σ-byte cap on resident head tables (0 = unlimited)
+	resident    int64      // bytes resident or reserved (incl. external v1 reservations)
+	dataDir     string     // checkpoint directory ("" = memory-only engine)
+	clock       uint64     // LRU clock; bumped on every dataset touch
+	transitions int        // evictions/rehydrations currently in flight
+	admitCond   *sync.Cond // on mu; signaled whenever a transition settles or bytes free up
 
 	ckptStop chan struct{} // closes to stop the background checkpointer
 	ckptDone chan struct{} // closed when the checkpointer has exited
-	ckptErr  error         // last background checkpoint failure
+	ckptErr  error         // accumulated background persistence failures (bounded)
+	ckptErrN int           // total background failures, retained or not
 }
 
 // New returns an empty engine. workers is handed to every prover built
 // from its datasets (0 serial, n < 0 all cores; see parallel.Workers).
 func New(f field.Field, workers int) *Engine {
-	return &Engine{f: f, workers: workers, datasets: make(map[string]*Dataset)}
+	e := &Engine{f: f, workers: workers, datasets: make(map[string]*Dataset)}
+	e.admitCond = sync.NewCond(&e.mu)
+	return e
 }
 
 // SetMaxDatasets caps how many datasets Open will create (0 = no cap).
@@ -129,6 +142,19 @@ func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
 	if err := e.admitLocked(tableBytes(params.U), nil); err != nil {
 		return nil, fmt.Errorf("engine: cannot admit dataset %q: %w", name, err)
 	}
+	// admitLocked may have released e.mu while waiting out an in-flight
+	// transition: re-check the registry (a concurrent Open of the same
+	// name may have won) and the cap before creating.
+	if ds, ok := e.datasets[name]; ok {
+		if ds.origU != u {
+			return nil, fmt.Errorf("engine: dataset %q has universe %d, not %d", name, ds.origU, u)
+		}
+		e.touchLocked(ds)
+		return ds, nil
+	}
+	if e.maxDatasets > 0 && len(e.datasets) >= e.maxDatasets {
+		return nil, fmt.Errorf("engine: dataset limit of %d reached", e.maxDatasets)
+	}
 	ds, err := NewDataset(e.f, u, e.workers)
 	if err != nil {
 		return nil, err
@@ -169,7 +195,10 @@ func (e *Engine) Names() []string {
 // checkpoint file. Snapshots already taken stay valid (they hold
 // immutable state), and a still-resident *Dataset handle lives on
 // unbudgeted; a handle to a dataset dropped while evicted becomes
-// unusable (its tables are gone from both memory and disk).
+// unusable (its tables are gone from both memory and disk). Drop waits
+// out an in-flight eviction or rehydration of the dataset, so its
+// accounting and its checkpoint file can never be touched by a
+// transition that outlives the removal.
 func (e *Engine) Drop(name string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -177,10 +206,27 @@ func (e *Engine) Drop(name string) {
 	if !ok {
 		return
 	}
+	for {
+		ds.mu.Lock()
+		if ds.res != resEvicting && ds.res != resRehydrating {
+			break
+		}
+		// The transition's completion needs e.mu; release it while
+		// waiting on the dataset's latch, then re-evaluate with both
+		// locks (a new transition could have started in between).
+		e.mu.Unlock()
+		ds.awaitStableLocked()
+		ds.mu.Unlock()
+		e.mu.Lock()
+	}
+	if e.datasets[name] != ds { // re-registered while we waited
+		ds.mu.Unlock()
+		return
+	}
 	delete(e.datasets, name)
-	ds.mu.Lock()
-	if ds.head != nil {
+	if ds.res == resResident && ds.head != nil {
 		e.resident -= tableBytes(ds.params.U)
+		e.admitCond.Broadcast()
 	}
 	ds.eng = nil
 	// Wait out any in-flight checkpoint write and bar future ones, so a
@@ -219,6 +265,25 @@ func (st *tableState) clone() *tableState {
 	}
 }
 
+// residency is the per-dataset state machine of the memory governor:
+//
+//	resident ──beginEvict──▶ evicting ──save ok──▶ evicted
+//	   ▲                        │ save failed         │
+//	   └────────────────────────┴──◀──rehydrate ok── rehydrating
+//
+// Transitions begin only under the engine lock (so admission accounting
+// never races a start), but the I/O that completes them runs outside
+// every lock; goroutines needing the tables wait on the dataset's own
+// latch (resCond), never on the engine.
+type residency int
+
+const (
+	resResident    residency = iota // tables in memory, usable
+	resEvicting                     // checkpoint save in flight; tables about to be freed
+	resRehydrating                  // checkpoint load + rebuild in flight
+	resEvicted                      // tables on disk only
+)
+
 // Dataset is one named, persistently maintained frequency vector.
 // Ingestion and snapshotting are safe for concurrent use from many
 // connections. An engine-managed dataset may be evicted (head == nil,
@@ -234,6 +299,8 @@ type Dataset struct {
 	mu      sync.Mutex
 	eng     *Engine     // nil for standalone datasets; cleared by Drop
 	head    *tableState // nil while evicted
+	res     residency   // the dataset's residency latch state
+	resCond *sync.Cond  // on mu; broadcast on every residency transition
 	nMeta   uint64      // updates ingested, valid even while evicted
 	lastUse uint64      // LRU stamp; guarded by eng.mu, not mu
 
@@ -261,6 +328,7 @@ func NewDataset(f field.Field, u uint64, workers int) (*Dataset, error) {
 		counts: make([]int64, ds.params.U),
 		elems:  make([]field.Elem, ds.params.U),
 	}
+	ds.res = resResident
 	return ds, nil
 }
 
@@ -272,7 +340,9 @@ func newDatasetShell(f field.Field, u uint64, workers int) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{f: f, params: params, origU: u, workers: workers}, nil
+	ds := &Dataset{f: f, params: params, origU: u, workers: workers, res: resEvicted}
+	ds.resCond = sync.NewCond(&ds.mu)
+	return ds, nil
 }
 
 // Name returns the dataset's registry name ("" for standalone datasets).
@@ -290,14 +360,27 @@ func (d *Dataset) Updates() uint64 {
 	return d.nMeta
 }
 
-// withState runs fn on the dataset's live table state, rehydrating from
-// disk first if the dataset is evicted. fn runs under the dataset lock
-// and must not call back into the engine. The loop re-checks residency
-// because the engine may evict between the rehydrate and the lock.
+// awaitStableLocked blocks on the dataset's residency latch until no
+// transition is in flight. Caller holds d.mu (the wait releases and
+// reacquires it); on return the state is resResident or resEvicted.
+// Only this dataset's users wait here — transitions of other datasets
+// proceed independently.
+func (d *Dataset) awaitStableLocked() {
+	for d.res == resEvicting || d.res == resRehydrating {
+		d.resCond.Wait()
+	}
+}
+
+// withState runs fn on the dataset's live table state, waiting out an
+// in-flight eviction or rehydration and rehydrating from disk first if
+// the dataset is evicted. fn runs under the dataset lock and must not
+// call back into the engine. The loop re-checks residency because the
+// engine may evict again between the rehydrate and the lock.
 func (d *Dataset) withState(fn func(*tableState) error) error {
 	for {
 		d.mu.Lock()
-		if d.head != nil {
+		d.awaitStableLocked()
+		if d.res == resResident {
 			err := fn(d.head)
 			d.mu.Unlock()
 			return err
@@ -353,10 +436,12 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 	if len(idx) != len(deltas) {
 		return fmt.Errorf("engine: batch has %d indices but %d deltas", len(idx), len(deltas))
 	}
-	u := d.params.U
+	// Bounds are the *requested* universe, not the padded power of two:
+	// every protocol is parameterized by origU, so an update in
+	// [origU, 2^d) would live in padding no verifier accounts for.
 	for _, i := range idx {
-		if i >= u {
-			return fmt.Errorf("engine: index %d outside universe [0,%d)", i, u)
+		if i >= d.origU {
+			return fmt.Errorf("engine: index %d outside universe [0,%d)", i, d.origU)
 		}
 	}
 	d.touch()
@@ -375,6 +460,7 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 		if nw > 1 && len(idx) >= minShardBatch {
 			// Index i belongs to shard i/width; equal-width shards keep the
 			// shard computation overflow-free for any supported universe.
+			u := d.params.U
 			width := (u + uint64(nw) - 1) / uint64(nw)
 			shard := make([]int32, len(idx))
 			count := make([]int, nw)

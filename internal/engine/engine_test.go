@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -388,6 +389,37 @@ func TestIngestValidation(t *testing.T) {
 	}
 	if err := ds.IngestColumns([]uint64{1, 2}, []int64{1}); err == nil {
 		t.Fatal("ragged columns accepted")
+	}
+}
+
+// TestIngestRejectsPaddedIndices: the bounds check runs against the
+// *requested* universe, not the power of two it pads to. At u = 500
+// (padded to 512) an index in [500, 512) would land in padding that no
+// protocol parameterized by 500 accounts for — it must be rejected,
+// atomically, and the error must name the real universe.
+func TestIngestRejectsPaddedIndices(t *testing.T) {
+	const u = 500 // deliberately not a power of two
+	ds, err := engine.NewDataset(f61, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ingest([]stream.Update{{Index: u - 1, Delta: 1}}); err != nil {
+		t.Fatalf("last in-range index rejected: %v", err)
+	}
+	for _, bad := range []uint64{u, 511} { // both inside the padded table
+		err := ds.Ingest([]stream.Update{{Index: 3, Delta: 2}, {Index: bad, Delta: 1}})
+		if err == nil {
+			t.Fatalf("index %d in the padded range [%d, 512) accepted", bad, u)
+		}
+		if !strings.Contains(err.Error(), "[0,500)") {
+			t.Errorf("error should name the requested universe 500, got: %v", err)
+		}
+	}
+	if ds.Updates() != 1 {
+		t.Fatalf("rejected batches partially applied: %d updates", ds.Updates())
+	}
+	if got := ds.Snapshot().Counts()[3]; got != 0 {
+		t.Fatalf("rejected batch leaked a delta: counts[3] = %d", got)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -290,6 +291,98 @@ func TestBackgroundCheckpointer(t *testing.T) {
 	}
 	if ds2.Updates() != 150 {
 		t.Fatalf("recovered %d updates, want 150 (final flush lost data)", ds2.Updates())
+	}
+}
+
+// blockCheckpoint makes the checkpoint file path for a dataset
+// unwritable by planting a directory where the file must be renamed —
+// the portable stand-in for an unwritable data dir (chmod is useless
+// under root). ckptFile is fileForName's output, hardcoded per name.
+func blockCheckpoint(t *testing.T, dir, ckptFile string) {
+	t.Helper()
+	if err := os.Mkdir(filepath.Join(dir, ckptFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointerAccumulatesFailures: the background checkpointer must
+// retain *every* distinct failure, not just the last one — an early
+// failure on dataset "a" must still be visible in Close's error after
+// later ticks fail only on "b".
+func TestCheckpointerAccumulatesFailures(t *testing.T) {
+	const (
+		aFile = "YQ.ckpt" // fileForName("a")
+		bFile = "Yg.ckpt" // fileForName("b")
+	)
+	dir := t.TempDir()
+	e := engine.New(f61, 0)
+	if err := e.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	blockCheckpoint(t, dir, aFile)
+	a, err := e.Open("a", evictU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Open("b", evictU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ingest(stream.UnitIncrements(evictU, 10, field.NewSplitMix64(70))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Ingest(stream.UnitIncrements(evictU, 10, field.NewSplitMix64(71))); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartCheckpointer(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: ticks fail on "a" (blocked) and succeed on "b". b's file
+	// appearing proves at least one tick ran — and that tick recorded
+	// a's failure.
+	waitForFile := func(name string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if fi, err := os.Stat(filepath.Join(dir, name)); err == nil && !fi.IsDir() {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("checkpoint %s never appeared", name)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitForFile(bFile)
+	// Phase 2: unblock "a", block "b"'s *next* save, dirty both. a's
+	// file appearing proves a later tick ran clean on "a" while failing
+	// on "b" — so with last-failure-only retention, a's earlier failure
+	// would now be gone.
+	if err := os.Remove(filepath.Join(dir, aFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, bFile)); err != nil {
+		t.Fatal(err)
+	}
+	blockCheckpoint(t, dir, bFile)
+	if err := a.Ingest(stream.UnitIncrements(evictU, 5, field.NewSplitMix64(72))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Ingest(stream.UnitIncrements(evictU, 5, field.NewSplitMix64(73))); err != nil {
+		t.Fatal(err)
+	}
+	waitForFile(aFile)
+
+	err = e.Close()
+	if err == nil {
+		t.Fatal("Close reported no error despite failed background checkpoints")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"b"`) {
+		t.Fatalf("Close error lost the recent failure on %q: %v", "b", err)
+	}
+	if !strings.Contains(msg, `"a"`) {
+		t.Fatalf("Close error lost the earlier failure on %q (last-failure-only retention): %v", "a", err)
 	}
 }
 

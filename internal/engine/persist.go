@@ -2,14 +2,45 @@
 // eviction to disk, checkpoint persistence, and crash recovery. See the
 // package comment in engine.go for the model.
 //
-// Locking: the engine lock is always acquired before a dataset lock.
-// Residency transitions (evict, rehydrate) happen only with the engine
-// lock held, so admission accounting can never race a transition; the
-// checkpoint I/O inside a transition is performed under both locks,
-// trading some tail latency on the affected dataset for the guarantee
-// that no ingested batch is ever dropped between a save and the table
-// free. Persist, by contrast, seals the head (copy-on-write) and writes
-// outside the locks, so background checkpointing never blocks serving.
+// # Locking contract
+//
+// Lock order: e.mu before d.mu before d.saveMu; never the reverse.
+// Holding any d.mu while acquiring e.mu is forbidden (touch releases
+// d.mu first; rehydrate claims its transition and drops d.mu before
+// admission).
+//
+// Residency transitions *begin* only with the engine lock held —
+// beginEvictLocked and the claim step of rehydrate — so admission
+// accounting (e.resident, e.transitions) can never race a transition's
+// start. The I/O that completes a transition (checkpoint save,
+// store.Load, the O(u) field-image rebuild) runs with NO lock held:
+// each dataset carries a residency latch (Dataset.res, a four-state
+// machine, plus resCond) and only goroutines needing *that* dataset's
+// tables wait on it. k transitions of k distinct datasets therefore
+// cost ~1× the I/O wall-clock, not k× — the engine lock is held only
+// for the O(1) bookkeeping at each end.
+//
+// Accounting invariants (all under e.mu):
+//
+//   - e.resident = Σ tableBytes over datasets in {resident,
+//     rehydrating} + external reservations (AdmitBytes). An evicting
+//     dataset's bytes are released when its eviction *begins*; its
+//     tables are freed (or, on a save failure, re-charged) when it
+//     completes.
+//   - A dataset's tables are freed only after its checkpoint is
+//     durably on disk (invariant 7 in DESIGN.md): finishEvict frees
+//     head only on a successful save and returns the dataset to
+//     residency otherwise.
+//   - Admission (admitLocked) begins LRU evictions until the
+//     reservation fits; when every candidate is already in transition
+//     it waits on admitCond (a finishing rehydration becomes the next
+//     victim, a failed eviction returns its bytes) and fails with
+//     ErrBudget only when nothing in flight can ever make room.
+//
+// Persist seals the head (copy-on-write) and writes outside the locks,
+// so background checkpointing never blocks serving; per-dataset saveMu
+// plus the diskN watermark keep a slow writer of an older sealed state
+// from clobbering a newer checkpoint.
 package engine
 
 import (
@@ -22,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/field"
+	"repro/internal/lde"
 	"repro/internal/parallel"
 	"repro/internal/store"
 )
@@ -47,6 +79,24 @@ var ErrCheckpointerRunning = errors.New("engine: checkpointer already running")
 // ckptExt is the checkpoint file suffix in the data dir.
 const ckptExt = ".ckpt"
 
+// maxRetainedBgErrs bounds how many background persistence failures are
+// kept in the error chain surfaced by Close. A server on a persistently
+// failing disk can accumulate thousands of near-identical failures
+// between restarts; beyond the cap they are counted, not retained, so
+// the chain cannot grow memory without bound.
+const maxRetainedBgErrs = 32
+
+// recordBgErrLocked retains a background persistence failure for Close
+// to surface. Distinct failures accumulate with errors.Join (an early
+// failure is never hidden by a later one); past maxRetainedBgErrs only
+// the count grows. Caller holds e.mu.
+func (e *Engine) recordBgErrLocked(err error) {
+	if e.ckptErrN < maxRetainedBgErrs {
+		e.ckptErr = errors.Join(e.ckptErr, err)
+	}
+	e.ckptErrN++
+}
+
 // fileForName maps a dataset name (arbitrary UTF-8, up to the wire
 // layer's 255 bytes) to a filesystem-safe checkpoint file name.
 func fileForName(name string) string {
@@ -65,31 +115,76 @@ func nameFromFile(file string) (string, error) {
 // SetBudget caps the aggregate bytes of resident dataset tables (counts
 // plus field image: 16 bytes per padded universe entry per dataset).
 // Zero or negative removes the cap. The budget is enforced at admission
-// time — Open of a new dataset and rehydration of an evicted one — by
-// evicting least-recently-used datasets to the data dir; without a data
-// dir eviction is impossible and admission simply fails at the cap.
-// Already-resident datasets are not evicted by SetBudget itself.
+// time — Open of a new dataset, rehydration of an evicted one, and
+// AdmitBytes reservations — by evicting least-recently-used datasets to
+// the data dir; without a data dir eviction is impossible and admission
+// simply fails at the cap. Already-resident datasets are not evicted by
+// SetBudget itself.
 func (e *Engine) SetBudget(bytes int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.budget = bytes
+	e.admitCond.Broadcast()
 }
 
-// ResidentBytes reports the bytes of dataset tables currently resident —
-// the quantity SetBudget caps.
+// ResidentBytes reports the bytes of dataset tables currently resident
+// or reserved — the quantity SetBudget caps. It includes datasets mid-
+// rehydration (their reservation is made up front) and external
+// AdmitBytes reservations; a dataset mid-eviction is already excluded.
 func (e *Engine) ResidentBytes() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.resident
 }
 
-// Resident reports whether the dataset's tables are in memory right now.
+// TableCost returns the resident byte cost of a dataset over a universe
+// of size ≥ u: 16 bytes per entry of the padded (power-of-two) table.
+// The wire layer uses it to charge v1 private datasets against the
+// engine budget via AdmitBytes.
+func TableCost(u uint64) (int64, error) {
+	params, err := lde.ParamsForUniverse(u, 2)
+	if err != nil {
+		return 0, err
+	}
+	return tableBytes(params.U), nil
+}
+
+// AdmitBytes reserves n bytes of the engine's memory budget for state
+// the caller manages itself (the wire layer's v1 private datasets, which
+// live outside the registry). The reservation is subject to the same
+// admission control as a dataset: LRU named datasets are evicted to make
+// room, and ErrBudget is returned when eviction cannot. The reservation
+// itself is never evictable — callers must pair every successful
+// AdmitBytes with a ReleaseBytes.
+func (e *Engine) AdmitBytes(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("engine: cannot admit %d bytes", n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.admitLocked(n, nil); err != nil {
+		return err
+	}
+	e.resident += n
+	return nil
+}
+
+// ReleaseBytes returns a reservation made with AdmitBytes.
+func (e *Engine) ReleaseBytes(n int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.resident -= n
+	e.admitCond.Broadcast()
+}
+
+// Resident reports whether the dataset's tables are usable from memory
+// right now — false while evicted and during either transition.
 // Standalone datasets are always resident; an engine-managed dataset may
 // be evicted between uses and rehydrates transparently.
 func (d *Dataset) Resident() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.head != nil
+	return d.res == resResident
 }
 
 // SetDataDir names the directory datasets checkpoint to (created if
@@ -111,9 +206,14 @@ func (e *Engine) touchLocked(d *Dataset) {
 	d.lastUse = e.clock
 }
 
-// admitLocked makes room for need bytes of tables, evicting LRU resident
-// datasets (never exclude) until resident+need fits the budget. Caller
-// holds e.mu. A failure is always an ErrBudget.
+// admitLocked makes room for need bytes of tables, beginning LRU
+// evictions (which complete asynchronously, see beginEvictLocked) until
+// the reservation fits the budget. When every candidate is already in
+// transition it waits on admitCond — a finishing rehydration becomes
+// the next victim, a failed eviction returns its bytes — and fails with
+// ErrBudget only when nothing in flight can make room. Caller holds
+// e.mu and no dataset lock; exclude (which may be nil) is never chosen
+// as a victim. A failure is always an ErrBudget.
 func (e *Engine) admitLocked(need int64, exclude *Dataset) error {
 	if e.budget <= 0 {
 		return nil
@@ -125,19 +225,21 @@ func (e *Engine) admitLocked(need int64, exclude *Dataset) error {
 		if e.dataDir == "" {
 			return fmt.Errorf("%w: %d bytes resident, %d more needed, and no data dir is configured for eviction", ErrBudget, e.resident, need)
 		}
-		victim := e.lruVictimLocked(exclude)
-		if victim == nil {
+		if victim := e.lruVictimLocked(exclude); victim != nil {
+			e.beginEvictLocked(victim)
+			continue
+		}
+		if e.transitions == 0 {
 			return fmt.Errorf("%w: %d bytes resident, %d more needed, and nothing is left to evict", ErrBudget, e.resident, need)
 		}
-		if err := e.evictLocked(victim); err != nil {
-			return fmt.Errorf("%w: evicting %q failed: %v", ErrBudget, victim.name, err)
-		}
+		e.admitCond.Wait()
 	}
 	return nil
 }
 
 // lruVictimLocked returns the least-recently-used resident dataset other
-// than exclude, or nil if none. Caller holds e.mu.
+// than exclude, or nil if none. Datasets mid-transition are not
+// candidates. Caller holds e.mu.
 func (e *Engine) lruVictimLocked(exclude *Dataset) *Dataset {
 	var victim *Dataset
 	for _, d := range e.datasets {
@@ -145,7 +247,7 @@ func (e *Engine) lruVictimLocked(exclude *Dataset) *Dataset {
 			continue
 		}
 		d.mu.Lock()
-		resident := d.head != nil
+		resident := d.res == resResident
 		d.mu.Unlock()
 		if !resident {
 			continue
@@ -180,63 +282,124 @@ func (d *Dataset) saveState(dir string, st *tableState) error {
 	return nil
 }
 
-// evictLocked checkpoints the dataset if dirty and frees its tables.
-// Caller holds e.mu; the save happens under both locks so a concurrent
-// ingest cannot slip a batch into tables that are about to be freed.
-func (e *Engine) evictLocked(d *Dataset) error {
+// beginEvictLocked starts evicting a resident dataset: it flips the
+// dataset's latch to evicting, seals the head, and releases the bytes
+// from the accounting immediately — the admitting goroutine proceeds
+// without waiting for disk. The checkpoint save and the table free
+// complete on a background goroutine (finishEvict), outside every lock.
+// Caller holds e.mu; the victim must be resident and is not the
+// caller's own dataset.
+func (e *Engine) beginEvictLocked(d *Dataset) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	st := d.head
-	if st == nil {
-		return nil
-	}
-	if err := d.saveState(e.dataDir, st); err != nil {
-		return err
-	}
 	st.sealed = true // outstanding snapshots may still share these tables
-	d.head = nil
+	d.res = resEvicting
+	d.mu.Unlock()
 	e.resident -= tableBytes(d.params.U)
-	return nil
+	e.transitions++
+	go e.finishEvict(d, st, e.dataDir)
+}
+
+// finishEvict completes an eviction begun by beginEvictLocked: it
+// checkpoints the sealed state (a no-op when an equal-or-newer
+// checkpoint is already on disk) and only then frees the tables —
+// invariant 7: tables are never freed before their contents are
+// durable. On a save failure the dataset returns to residency, its
+// bytes are re-charged (transiently overshooting the budget rather
+// than losing data), and the failure is retained for Close to surface.
+func (e *Engine) finishEvict(d *Dataset, st *tableState, dir string) {
+	err := d.saveState(dir, st)
+	e.mu.Lock()
+	d.mu.Lock()
+	if err != nil {
+		d.res = resResident
+		e.resident += tableBytes(d.params.U)
+		e.recordBgErrLocked(fmt.Errorf("engine: evicting %q: %w", d.name, err))
+	} else {
+		d.head = nil
+		d.res = resEvicted
+	}
+	e.transitions--
+	d.resCond.Broadcast()
+	e.admitCond.Broadcast()
+	d.mu.Unlock()
+	e.mu.Unlock()
 }
 
 // rehydrate loads an evicted dataset's checkpoint back into memory,
-// subject to admission control. No-op if the dataset is already
-// resident.
+// subject to admission control. The transition is claimed (and its
+// bytes reserved) under the engine lock, but the load and the O(u)
+// field-image rebuild run with no lock held, so concurrent
+// rehydrations of distinct datasets overlap. No-op if the dataset is
+// already resident or mid-transition (the withState loop re-checks).
 func (e *Engine) rehydrate(d *Dataset) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	d.mu.Lock()
-	resident := d.head != nil
-	d.mu.Unlock()
-	if resident {
+	if d.eng != e || d.res != resEvicted {
+		// Raced with another rehydration, an eviction still settling, or
+		// Drop; the caller re-evaluates through its latch wait.
+		d.mu.Unlock()
+		e.mu.Unlock()
 		return nil
 	}
 	if e.dataDir == "" {
+		d.mu.Unlock()
+		e.mu.Unlock()
 		return fmt.Errorf("engine: dataset %q is evicted but the engine has no data dir", d.name)
 	}
-	if err := e.admitLocked(tableBytes(d.params.U), d); err != nil {
+	// Claim the transition before admission: a claimed dataset cannot be
+	// claimed twice, and dropping d.mu here means admission (which may
+	// wait) holds no dataset lock.
+	d.res = resRehydrating
+	d.mu.Unlock()
+	need := tableBytes(d.params.U)
+	if err := e.admitLocked(need, d); err != nil {
+		d.mu.Lock()
+		d.res = resEvicted
+		d.resCond.Broadcast()
+		d.mu.Unlock()
+		e.mu.Unlock()
 		return fmt.Errorf("engine: cannot rehydrate dataset %q: %w", d.name, err)
 	}
-	ckpt, err := store.Load(filepath.Join(e.dataDir, fileForName(d.name)), e.f.Modulus())
-	if err != nil {
-		return fmt.Errorf("engine: rehydrating dataset %q: %w", d.name, err)
+	e.resident += need
+	e.transitions++
+	dir := e.dataDir
+	e.mu.Unlock()
+
+	// I/O and rebuild, outside every lock.
+	ckpt, err := store.Load(filepath.Join(dir, fileForName(d.name)), e.f.Modulus())
+	var st *tableState
+	if err == nil {
+		st, err = d.stateFromCheckpoint(ckpt)
 	}
-	st, err := d.stateFromCheckpoint(ckpt)
-	if err != nil {
-		return fmt.Errorf("engine: rehydrating dataset %q: %w", d.name, err)
+	if err == nil {
+		d.saveMu.Lock()
+		if !d.diskHas || st.n > d.diskN {
+			d.diskN = st.n
+			d.diskHas = true
+		}
+		d.saveMu.Unlock()
 	}
-	d.saveMu.Lock()
-	if !d.diskHas || st.n > d.diskN {
-		d.diskN = st.n
-		d.diskHas = true
-	}
-	d.saveMu.Unlock()
+
+	e.mu.Lock()
 	d.mu.Lock()
-	d.head = st
-	d.nMeta = st.n
+	if err != nil {
+		e.resident -= need
+		d.res = resEvicted
+	} else {
+		d.head = st
+		d.nMeta = st.n
+		d.res = resResident
+		e.touchLocked(d)
+	}
+	e.transitions--
+	d.resCond.Broadcast()
+	e.admitCond.Broadcast()
 	d.mu.Unlock()
-	e.resident += tableBytes(d.params.U)
-	e.touchLocked(d)
+	e.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("engine: rehydrating dataset %q: %w", d.name, err)
+	}
 	return nil
 }
 
@@ -291,42 +454,72 @@ func (d *Dataset) stateFromCheckpoint(ckpt *store.Checkpoint) (*tableState, erro
 	return st, nil
 }
 
+// quiesceLocked waits until no residency transition is in flight, so a
+// caller can rely on every eviction save having hit the disk. Caller
+// holds e.mu (the wait releases and reacquires it).
+func (e *Engine) quiesceLocked() {
+	for e.transitions > 0 {
+		e.admitCond.Wait()
+	}
+}
+
 // Persist checkpoints every dirty dataset to the data dir and returns
-// the first errors encountered (joined). The head is sealed before the
+// the first errors encountered (joined). It first waits out in-flight
+// transitions, so "Persist returned nil" means every batch ingested
+// before the call is durably on disk — including ones inside an
+// eviction that was still settling. The head is sealed before the
 // write, so saving proceeds outside the locks while ingestion continues
 // against a copy-on-write clone; the crash-loss window of a server that
 // persists every t is therefore at most t of ingestion.
 func (e *Engine) Persist() error {
-	e.mu.Lock()
-	dir := e.dataDir
-	all := make([]*Dataset, 0, len(e.datasets))
-	for _, d := range e.datasets {
-		all = append(all, d)
-	}
-	e.mu.Unlock()
-	if dir == "" {
-		return fmt.Errorf("engine: Persist needs a data dir (SetDataDir)")
-	}
 	var errs []error
-	for _, d := range all {
-		// Peek at the disk watermark to skip sealing clean datasets (the
-		// peek is advisory: saveState re-checks under its own lock).
-		d.saveMu.Lock()
-		diskN, diskHas := d.diskN, d.diskHas
-		d.saveMu.Unlock()
-		d.mu.Lock()
-		st := d.head
-		if st == nil || (diskHas && st.n == diskN) {
-			d.mu.Unlock()
-			continue // evicted datasets were saved on eviction; clean ones are on disk already
+	for {
+		e.mu.Lock()
+		e.quiesceLocked()
+		dir := e.dataDir
+		all := make([]*Dataset, 0, len(e.datasets))
+		for _, d := range e.datasets {
+			all = append(all, d)
 		}
-		st.sealed = true
-		d.mu.Unlock()
-		if err := d.saveState(dir, st); err != nil {
-			errs = append(errs, fmt.Errorf("dataset %q: %w", d.name, err))
+		e.mu.Unlock()
+		if dir == "" {
+			return fmt.Errorf("engine: Persist needs a data dir (SetDataDir)")
+		}
+		sawEvicting := false
+		for _, d := range all {
+			// Peek at the disk watermark to skip sealing clean datasets (the
+			// peek is advisory: saveState re-checks under its own lock).
+			d.saveMu.Lock()
+			diskN, diskHas := d.diskN, d.diskHas
+			d.saveMu.Unlock()
+			d.mu.Lock()
+			if d.res == resEvicting {
+				// An eviction began after our quiesce. Its save usually
+				// makes the dataset durable, but it can fail (returning the
+				// dataset to residency, dirty) — re-scan after it settles
+				// rather than trusting it, so a nil from Persist really
+				// means everything ingested before the call is on disk.
+				sawEvicting = true
+				d.mu.Unlock()
+				continue
+			}
+			st := d.head
+			if d.res != resResident || st == nil || (diskHas && st.n == diskN) {
+				// Evicted/rehydrating datasets match their disk state, and
+				// clean resident ones are on disk already.
+				d.mu.Unlock()
+				continue
+			}
+			st.sealed = true
+			d.mu.Unlock()
+			if err := d.saveState(dir, st); err != nil {
+				errs = append(errs, fmt.Errorf("dataset %q: %w", d.name, err))
+			}
+		}
+		if !sawEvicting {
+			return errors.Join(errs...)
 		}
 	}
-	return errors.Join(errs...)
 }
 
 // Recover scans the data dir and registers every checkpointed dataset,
@@ -392,6 +585,7 @@ func (e *Engine) Recover() (int, error) {
 				continue
 			}
 			ds.head = st
+			ds.res = resResident
 			e.resident += size
 		} // else: stays evicted (head nil) until first use
 		ds.nMeta = ckpt.Updates
@@ -417,7 +611,9 @@ func (e *Engine) removeCheckpointLocked(name string) {
 
 // StartCheckpointer persists dirty datasets every interval on a
 // background goroutine until Close, bounding crash loss to one interval
-// of ingestion. Background failures are retained and surfaced by Close.
+// of ingestion. Every background failure is retained (accumulated with
+// errors.Join, so earlier distinct failures never vanish behind the
+// latest one) and surfaced by Close.
 func (e *Engine) StartCheckpointer(interval time.Duration) error {
 	if interval <= 0 {
 		return fmt.Errorf("engine: checkpoint interval must be positive, got %v", interval)
@@ -444,7 +640,7 @@ func (e *Engine) StartCheckpointer(interval time.Duration) error {
 			case <-t.C:
 				if err := e.Persist(); err != nil {
 					e.mu.Lock()
-					e.ckptErr = err
+					e.recordBgErrLocked(err)
 					e.mu.Unlock()
 				}
 			case <-stop:
@@ -457,9 +653,10 @@ func (e *Engine) StartCheckpointer(interval time.Duration) error {
 
 // Close stops the background checkpointer (if running) and, when a data
 // dir is configured, persists all dirty datasets one final time. It
-// returns any retained background checkpoint failure joined with the
-// final persist's. The engine remains usable after Close; Close exists
-// to make shutdown loss-free.
+// returns every accumulated background persistence failure (checkpointer
+// ticks and eviction saves, joined) together with the final persist's.
+// The engine remains usable after Close; Close exists to make shutdown
+// loss-free.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	stop, done := e.ckptStop, e.ckptDone
@@ -472,7 +669,11 @@ func (e *Engine) Close() error {
 	}
 	e.mu.Lock()
 	bgErr := e.ckptErr
+	if e.ckptErrN > maxRetainedBgErrs {
+		bgErr = errors.Join(bgErr, fmt.Errorf("engine: %d further background persistence failures not retained", e.ckptErrN-maxRetainedBgErrs))
+	}
 	e.ckptErr = nil
+	e.ckptErrN = 0
 	e.mu.Unlock()
 	if dir == "" {
 		return bgErr

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -318,17 +319,17 @@ func (r *rawConn) send(typ byte, payload []byte) {
 	}
 }
 
-// expectError reads frames until a frameError arrives (acks are skipped),
-// then confirms the connection closes.
-func (r *rawConn) expectError(context string) {
+// expect reads frames until one of type want arrives (acks are
+// skipped), then confirms the connection closes.
+func (r *rawConn) expect(want byte, context string) {
 	r.t.Helper()
 	_ = r.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	for {
 		typ, _, err := readFrame(r.conn)
 		if err != nil {
-			r.t.Fatalf("%s: connection died before an error frame: %v", context, err)
+			r.t.Fatalf("%s: connection died before frame 0x%02x: %v", context, want, err)
 		}
-		if typ == frameError {
+		if typ == want {
 			break
 		}
 		if typ != frameOK {
@@ -336,9 +337,14 @@ func (r *rawConn) expectError(context string) {
 		}
 	}
 	if _, _, err := readFrame(r.conn); err == nil {
-		r.t.Fatalf("%s: server kept the connection after a protocol error", context)
+		r.t.Fatalf("%s: server kept the connection after frame 0x%02x", context, want)
 	}
 }
+
+// expectError expects a protocol-error frame; expectBudget a
+// budget-exhausted frame.
+func (r *rawConn) expectError(context string)  { r.expect(frameError, context) }
+func (r *rawConn) expectBudget(context string) { r.expect(frameBudget, context) }
 
 func helloPayload(u uint64) []byte { return encodeCount(u) }
 
@@ -623,9 +629,19 @@ func TestPrivateDatasetSlotLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Exhaustion is "server full", not a protocol violation: the refusal
+	// travels as a budget frame and types as ErrBudget client-side.
 	rc := dialRaw(t, addr)
 	rc.send(frameHello, helloPayload(64))
-	rc.expectError("second private dataset past the cap")
+	rc.expectBudget("second private dataset past the cap")
+	over, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := over.Hello(64); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-cap Hello = %v, want wire.ErrBudget", err)
+	}
+	over.Close()
 
 	// Freeing the slot admits a new connection. The release runs as the
 	// handler unwinds after Close, so poll until a full v1 session

@@ -11,10 +11,13 @@
 //
 // Two client flows share one framing:
 //
-//   - v1 (hello → updates → end-stream → queries): a private,
-//     per-connection dataset. Updates are folded into maintained state as
-//     each batch arrives — the server never stores the raw stream and
-//     never replays it, however many queries follow.
+//   - v1 (hello → ok → updates → end-stream → queries): a private,
+//     per-connection dataset, charged against the engine's Σ memory
+//     budget for the connection's lifetime (the hello is acknowledged
+//     once the tables are admitted, or refused with a budget frame).
+//     Updates are folded into maintained state as each batch arrives —
+//     the server never stores the raw stream and never replays it,
+//     however many queries follow.
 //   - v2 (open <name> → updates/queries freely interleaved): a named
 //     dataset shared through the server's engine. Any number of
 //     connections ingest into and query the same dataset concurrently;
@@ -99,9 +102,10 @@ const DefaultMaxUniverse = 1 << 26
 const DefaultMaxDatasets = 1024
 
 // DefaultMaxPrivateDatasets caps how many v1 connections may hold a
-// private dataset simultaneously — a hello frame allocates the dense
-// tables up front, so without a cap a handful of cheap frames could
-// exhaust server memory.
+// private dataset simultaneously. The primary defense against v1 memory
+// exhaustion is the engine's Σ-byte budget (Server.MemBudget), which
+// every hello is charged against; the count cap remains as a blunt
+// connection-level backstop for servers running without a budget.
 const DefaultMaxPrivateDatasets = 32
 
 // ErrProtocol reports a malformed or unexpected frame.
@@ -292,9 +296,11 @@ type Server struct {
 	// memory. Zero selects DefaultMaxUniverse.
 	MaxUniverse uint64
 	// MaxPrivateDatasets caps how many v1 connections may hold a private
-	// dataset at once (each pins O(u) memory for the connection's
-	// lifetime). Zero selects DefaultMaxPrivateDatasets; negative means
-	// no cap.
+	// dataset at once. Zero selects DefaultMaxPrivateDatasets; negative
+	// means no cap. It is a backstop: each v1 dataset's tables are also
+	// charged against the engine's Σ budget (MemBudget) at hello and
+	// released when the connection ends, so byte-level governance does
+	// not depend on this count.
 	MaxPrivateDatasets int
 	// MemBudget caps the engine's aggregate resident dataset memory in
 	// bytes (engine.SetBudget). When admission would exceed it, LRU
@@ -319,9 +325,11 @@ type Server struct {
 	mu        sync.Mutex
 	ln        net.Listener
 	closed    bool
-	inited    bool // engine configured (budget/data dir/recovery) by Serve
-	ownEngine bool // engine was created by this server (Close may close it)
-	v1Alive   int  // v1 connections currently holding a private dataset
+	inited    bool                  // engine configured (budget/data dir/recovery) by Serve
+	ownEngine bool                  // engine was created by this server (Close may close it)
+	v1Alive   int                   // v1 connections currently holding a private dataset
+	conns     map[net.Conn]struct{} // connections with a live handler
+	handlers  sync.WaitGroup        // one per handler goroutine; drained by Close
 }
 
 // Serve accepts connections until the listener closes. Each connection is
@@ -343,6 +351,14 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	if err := s.engineInit(); err != nil {
+		// A Serve that never accepted must not leave the listener
+		// registered: per the contract above, a later Close closes only
+		// listeners the server actually served.
+		s.mu.Lock()
+		if s.ln == ln {
+			s.ln = nil
+		}
+		s.mu.Unlock()
 		return err
 	}
 	for {
@@ -356,8 +372,28 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			// Close already snapshotted the registry; don't start a
+			// handler it would not drain.
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
 		go func() {
-			defer conn.Close()
+			defer s.handlers.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
 				typ := byte(frameError)
 				if errors.Is(err, engine.ErrBudget) {
@@ -412,14 +448,19 @@ func (s *Server) engineInit() error {
 	return nil
 }
 
-// Close stops the listener; a Serve in flight (or started later) returns
-// ErrServerClosed. Close is idempotent — each served listener is closed
-// at most once. If this server created its own engine and configured
-// persistence (DataDir), Close also closes the engine — the background
-// checkpointer stops and dirty datasets are persisted one final time,
-// so an orderly shutdown is loss-free. A caller-supplied Engine is left
-// running (it may be shared with other listeners); its owner calls
-// engine.Close.
+// Close stops the listener, closes every live connection, and waits for
+// the handler goroutines to drain before any final persistence; a Serve
+// in flight (or started later) returns ErrServerClosed. Close is
+// idempotent — each served listener is closed at most once. If this
+// server created its own engine and configured persistence (DataDir),
+// Close then also closes the engine — the background checkpointer stops
+// and dirty datasets are persisted one final time. Because the drain
+// happens first, no handler can be mid-IngestColumns when that final
+// persist runs: every batch folded (and, on v2, acknowledged) before
+// shutdown is captured, making an orderly shutdown genuinely loss-free.
+// A caller-supplied Engine is left running (it may be shared with other
+// listeners); its owner calls engine.Close — after this Close returns,
+// with no handler still folding.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -427,11 +468,22 @@ func (s *Server) Close() error {
 	s.ln = nil
 	eng := s.Engine
 	persist := s.ownEngine && s.inited && s.DataDir != ""
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var lnErr error
 	if ln != nil {
 		lnErr = ln.Close()
 	}
+	// Interrupt handlers blocked on socket reads (a closed conn fails the
+	// next read; an in-flight IngestColumns still completes), then wait
+	// them all out.
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.handlers.Wait()
 	if persist && eng != nil {
 		if err := eng.Close(); err != nil {
 			return err
@@ -466,7 +518,9 @@ func (s *Server) checkUniverse(u uint64) error {
 }
 
 // acquireV1 reserves a private-dataset slot for a v1 connection;
-// releaseV1 returns it when the connection ends.
+// releaseV1 returns it when the connection ends. Exhaustion is a
+// resource refusal ("server full, retry later"), not a protocol
+// violation, so it is typed ErrBudget and travels as a budget frame.
 func (s *Server) acquireV1() error {
 	limit := s.MaxPrivateDatasets
 	if limit == 0 {
@@ -475,7 +529,7 @@ func (s *Server) acquireV1() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if limit > 0 && s.v1Alive >= limit {
-		return fmt.Errorf("%w: too many concurrent private datasets (limit %d)", ErrProtocol, limit)
+		return fmt.Errorf("%w: too many concurrent private datasets (limit %d)", ErrBudget, limit)
 	}
 	s.v1Alive++
 	return nil
@@ -521,7 +575,11 @@ func (s *Server) handle(conn net.Conn) error {
 	st := connStart
 	var ds *engine.Dataset // v1: private; v2: shared named dataset
 	v1Slot := false
+	var v1Bytes int64 // budget reservation held by this connection's private dataset
 	defer func() {
+		if v1Bytes > 0 {
+			s.engineRef().ReleaseBytes(v1Bytes)
+		}
 		if v1Slot {
 			s.releaseV1()
 		}
@@ -547,12 +605,27 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			v1Slot = true
+			// The private dataset's tables are charged against the same Σ
+			// budget as the named datasets (LRU names may be evicted to
+			// admit it); the reservation is released when the connection
+			// ends. A refusal reaches the client as a budget frame.
+			cost, err := engine.TableCost(u)
+			if err != nil {
+				return err
+			}
+			if err := s.engineRef().AdmitBytes(cost); err != nil {
+				return err
+			}
+			v1Bytes = cost
 			// Honest or cheating, the connection maintains only the dense
 			// aggregate state: O(u) memory, independent of stream length.
 			if ds, err = engine.NewDataset(s.F, u, s.Workers); err != nil {
 				return err
 			}
 			st = connV1Load
+			if err := s.write(conn, frameOK, encodeCount(0)); err != nil {
+				return err
+			}
 		case frameOpen:
 			if st != connStart && st != connV2 {
 				return fmt.Errorf("%w: open on a v1 connection", ErrProtocol)
@@ -837,15 +910,25 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Hello announces the universe size and starts a v1 upload into a
-// private, per-connection dataset.
+// private, per-connection dataset. It waits for the server's
+// acknowledgement: the dataset's O(u) tables are admitted against the
+// server's memory budget at hello time, and a refusal surfaces here as
+// ErrBudget (distinguish it with errors.Is) rather than failing some
+// later frame.
 func (c *Client) Hello(u uint64) error {
 	if c.mode == modeV2 {
 		return fmt.Errorf("wire: Hello on a connection attached to a named dataset")
 	}
-	c.mode = modeV1
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], u)
-	return writeFrame(c.conn, frameHello, b[:])
+	if err := writeFrame(c.conn, frameHello, b[:]); err != nil {
+		return err
+	}
+	if _, err := c.readOK(); err != nil {
+		return err
+	}
+	c.mode = modeV1
+	return nil
 }
 
 // OpenDataset attaches the connection to the named server-side dataset,
