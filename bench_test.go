@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"fmt"
+	"net"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -777,6 +778,213 @@ func BenchmarkConcurrentRehydrate(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "rehydrates/s")
+	}
+	b.Run(fmt.Sprintf("serial/logu=%d/k=%d", logu, k), func(b *testing.B) { run(b, false) })
+	b.Run(fmt.Sprintf("overlapped/logu=%d/k=%d", logu, k), func(b *testing.B) { run(b, true) })
+}
+
+// ---------------------------------------------------------------------
+// Multiplexed wire conversations: k query conversations overlapped on
+// ONE connection versus the same k run serially, over a real loopback
+// socket. Each conversation runs in its own server goroutine against
+// its own snapshot, so on a multi-core runner the overlapped wall-clock
+// approaches 1× the single-conversation cost instead of k×; on a 1-core
+// runner parity is expected (as with BenchmarkConcurrentRehydrate).
+// Before timing, the benchmark asserts the mux contract: overlapped
+// transcripts are bit-identical to serial ones for every query kind ×
+// server worker count exercised.
+
+// benchRecordingVerifier records the prover messages a verifier session
+// consumes, for serial-vs-overlapped transcript comparison.
+type benchRecordingVerifier struct {
+	inner core.VerifierSession
+	msgs  []core.Msg
+}
+
+func (r *benchRecordingVerifier) record(m core.Msg) {
+	r.msgs = append(r.msgs, core.Msg{
+		Ints:  append([]uint64(nil), m.Ints...),
+		Elems: append([]field.Elem(nil), m.Elems...),
+	})
+}
+
+func (r *benchRecordingVerifier) Begin(m core.Msg) (core.Msg, bool, error) {
+	r.record(m)
+	return r.inner.Begin(m)
+}
+
+func (r *benchRecordingVerifier) Step(m core.Msg) (core.Msg, bool, error) {
+	r.record(m)
+	return r.inner.Step(m)
+}
+
+func benchSameTranscript(b *testing.B, want, got []core.Msg, context string) {
+	b.Helper()
+	if len(want) != len(got) {
+		b.Fatalf("%s: round counts differ: %d vs %d", context, len(want), len(got))
+	}
+	for r := range want {
+		if len(want[r].Ints) != len(got[r].Ints) || len(want[r].Elems) != len(got[r].Elems) {
+			b.Fatalf("%s: round %d shapes differ", context, r)
+		}
+		for i := range want[r].Ints {
+			if want[r].Ints[i] != got[r].Ints[i] {
+				b.Fatalf("%s: round %d int %d differs", context, r, i)
+			}
+		}
+		for i := range want[r].Elems {
+			if want[r].Elems[i] != got[r].Elems[i] {
+				b.Fatalf("%s: round %d elem %d differs", context, r, i)
+			}
+		}
+	}
+}
+
+func BenchmarkMuxQueries(b *testing.B) {
+	const (
+		logu = 16
+		k    = 4
+	)
+	u := uint64(1) << logu
+	ups := stream.UnitIncrements(u, int(2*u), field.NewSplitMix64(91))
+
+	// Verifier factories; one verifier per conversation (it is consumed).
+	newF2V := func(seed uint64) core.VerifierSession {
+		proto, err := core.NewSelfJoinSize(f61, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := proto.NewVerifier(field.NewSplitMix64(seed))
+		if err := v.ObserveBatch(ups, runtime.NumCPU()); err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	qL, qR := u/4, u/4+999
+	newRQV := func(seed uint64) core.VerifierSession {
+		proto, err := core.NewRangeQuery(f61, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := proto.NewVerifier(field.NewSplitMix64(seed))
+		for _, up := range ups {
+			if err := v.Observe(up); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := v.SetQuery(qL, qR); err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	kinds := []struct {
+		name   string
+		kind   wire.QueryKind
+		params wire.QueryParams
+		newV   func(uint64) core.VerifierSession
+	}{
+		{"F2", wire.QuerySelfJoinSize, wire.QueryParams{}, newF2V},
+		{"RangeQuery", wire.QueryRangeQuery, wire.QueryParams{A: qL, B: qR}, newRQV},
+	}
+
+	start := func(workers int) (*wire.Client, func()) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := &wire.Server{F: f61, Workers: workers}
+		go func() { _ = srv.Serve(ln) }()
+		cl, err := wire.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.OpenDataset("bench", u); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Ingest(ups); err != nil {
+			b.Fatal(err)
+		}
+		return cl, func() { cl.Close(); _ = srv.Close() }
+	}
+
+	// Transcript contract, per kind × worker count: the want transcripts
+	// come from the serial path at workers=0 and every other combination
+	// must coincide bit for bit.
+	want := make([][]core.Msg, len(kinds))
+	for _, workers := range []int{0, -1} {
+		cl, stop := start(workers)
+		// Serial.
+		serial := make([][]core.Msg, len(kinds))
+		for i, q := range kinds {
+			rec := &benchRecordingVerifier{inner: q.newV(uint64(300 + i))}
+			if _, err := cl.Query(q.kind, q.params, rec); err != nil {
+				b.Fatalf("serial %s workers=%d: %v", q.name, workers, err)
+			}
+			serial[i] = rec.msgs
+		}
+		// Overlapped, same seeds.
+		recs := make([]*benchRecordingVerifier, len(kinds))
+		handles := make([]*wire.QueryHandle, len(kinds))
+		for i, q := range kinds {
+			recs[i] = &benchRecordingVerifier{inner: q.newV(uint64(300 + i))}
+			h, err := cl.QueryAsync(q.kind, q.params, recs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles[i] = h
+		}
+		for i, h := range handles {
+			if _, err := h.Wait(); err != nil {
+				b.Fatalf("overlapped %s workers=%d: %v", kinds[i].name, workers, err)
+			}
+		}
+		for i, q := range kinds {
+			if workers == 0 {
+				want[i] = serial[i]
+			}
+			benchSameTranscript(b, want[i], serial[i], fmt.Sprintf("serial %s workers=%d", q.name, workers))
+			benchSameTranscript(b, want[i], recs[i].msgs, fmt.Sprintf("overlapped %s workers=%d", q.name, workers))
+		}
+		stop()
+	}
+
+	// Timing: k F2 conversations on one connection, serial vs overlapped.
+	// Server workers = 0 so each prover is single-threaded and the only
+	// parallelism is the cross-conversation overlap under test.
+	cl, stop := start(0)
+	defer stop()
+	run := func(b *testing.B, overlap bool) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			vs := make([]core.VerifierSession, k)
+			for j := range vs {
+				vs[j] = newF2V(uint64(1000 + i*k + j))
+			}
+			b.StartTimer()
+			if overlap {
+				handles := make([]*wire.QueryHandle, k)
+				for j, v := range vs {
+					h, err := cl.QueryAsync(wire.QuerySelfJoinSize, wire.QueryParams{}, v)
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles[j] = h
+				}
+				for _, h := range handles {
+					if _, err := h.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				for _, v := range vs {
+					if _, err := cl.Query(wire.QuerySelfJoinSize, wire.QueryParams{}, v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	}
 	b.Run(fmt.Sprintf("serial/logu=%d/k=%d", logu, k), func(b *testing.B) { run(b, false) })
 	b.Run(fmt.Sprintf("overlapped/logu=%d/k=%d", logu, k), func(b *testing.B) { run(b, true) })

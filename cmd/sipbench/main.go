@@ -14,6 +14,8 @@
 //	sipbench -experiment gkr            # §3 remark: GKR vs native F2
 //	sipbench -experiment freq           # §6.2 frequency-based functions
 //	sipbench -experiment ipv6           # §5 closing extrapolation
+//	sipbench -experiment mux            # multiplexed conversations: k overlapped
+//	                                    # vs k serial on one connection
 //	sipbench -experiment all
 //
 // -maxlogu bounds the sweeps (default 20 multi-round, 16 one-round; the
@@ -28,12 +30,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/gkrbench"
 	"repro/internal/harness"
+	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -68,6 +75,84 @@ func main() {
 	run("gkr", func(f field.Field) error { return gkr(f, *seed) })
 	run("freq", func(f field.Field) error { return freq(f, *seed, *workers) })
 	run("ipv6", func(f field.Field) error { return ipv6(f, *seed, *workers) })
+	run("mux", func(f field.Field) error { return mux(f, *seed) })
+}
+
+// mux: the wire layer's multiplexed conversations — k F2 query
+// conversations overlapped on one connection versus the same k run
+// serially, over a real loopback socket. Each conversation runs in its
+// own server goroutine; on c cores expect up to min(k, c)× speedup, and
+// parity on one core.
+func mux(f field.Field, seed uint64) error {
+	const logu = 16
+	u := uint64(1) << logu
+	fmt.Printf("Multiplexed conversations: k overlapped vs k serial F2 queries, one connection, u = 2^%d\n", logu)
+	ups := stream.UnitIncrements(u, int(2*u), field.NewSplitMix64(seed))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &wire.Server{F: f, Workers: 1} // single-threaded provers: only the overlap parallelizes
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	cl, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if _, err := cl.OpenDataset("mux", u); err != nil {
+		return err
+	}
+	if _, err := cl.Ingest(ups); err != nil {
+		return err
+	}
+
+	newVerifier := func(vseed uint64) (*core.FkVerifier, error) {
+		proto, err := core.NewSelfJoinSize(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(field.NewSplitMix64(vseed))
+		if err := v.ObserveBatch(ups, runtime.NumCPU()); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+
+	fmt.Printf("%4s %14s %14s %10s\n", "k", "serial", "overlapped", "speedup")
+	for _, k := range []int{1, 2, 4, 8} {
+		vs := make([]*core.FkVerifier, 2*k)
+		for i := range vs {
+			if vs[i], err = newVerifier(seed + uint64(1000+i)); err != nil {
+				return err
+			}
+		}
+		t0 := time.Now()
+		for i := 0; i < k; i++ {
+			if _, err := cl.Query(wire.QuerySelfJoinSize, wire.QueryParams{}, vs[i]); err != nil {
+				return err
+			}
+		}
+		serial := time.Since(t0)
+		t0 = time.Now()
+		handles := make([]*wire.QueryHandle, k)
+		for i := 0; i < k; i++ {
+			if handles[i], err = cl.QueryAsync(wire.QuerySelfJoinSize, wire.QueryParams{}, vs[k+i]); err != nil {
+				return err
+			}
+		}
+		for _, h := range handles {
+			if _, err := h.Wait(); err != nil {
+				return err
+			}
+		}
+		overlapped := time.Since(t0)
+		fmt.Printf("%4d %14s %14s %9.2fx\n", k,
+			serial.Round(time.Microsecond), overlapped.Round(time.Microsecond),
+			float64(serial)/float64(overlapped))
+	}
+	return nil
 }
 
 func logRange(lo, hi int) []int {

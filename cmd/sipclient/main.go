@@ -12,6 +12,11 @@
 // query battery -queries times to show the amortization: the stream is
 // ingested once, and every query (first and Nth alike) skips the replay.
 //
+// -concurrency N overlaps up to N query rounds on the one connection:
+// every conversation runs on its own multiplexed channel
+// (wire.Client.QueryAsync), so a slow proof never blocks the others —
+// the paper's many-cheap-conversations regime over a single socket.
+//
 // Point it at a server started with -cheat-drop to watch every v1 query
 // get rejected.
 package main
@@ -23,6 +28,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -38,7 +45,18 @@ func main() {
 	seed := flag.Uint64("seed", 7, "workload seed")
 	dataset := flag.String("dataset", "", "named shared dataset (empty = private v1 connection)")
 	queries := flag.Int("queries", 1, "how many times to run the query battery (with -dataset)")
+	concurrency := flag.Int("concurrency", 1, "query rounds overlapped on the one connection (multiplexed conversations)")
 	flag.Parse()
+	if *concurrency < 1 {
+		*concurrency = 1
+	}
+	// Each round holds three conversations at once; a server caps
+	// in-flight conversations per connection (sipserver -max-queries,
+	// default wire.DefaultMaxConcurrentQueries) and refuses the excess.
+	if 3**concurrency > wire.DefaultMaxConcurrentQueries {
+		log.Printf("warning: -concurrency %d holds up to %d conversations; a default server caps them at %d per connection and refuses the rest (REFUSED lines, not failures)",
+			*concurrency, 3**concurrency, wire.DefaultMaxConcurrentQueries)
+	}
 
 	f := field.Mersenne()
 	u := uint64(1) << *logu
@@ -123,55 +141,126 @@ func main() {
 		fmt.Printf("uploaded %d updates over universe 2^%d; verifier state is O(log u)\n", len(ups), *logu)
 	}
 
+	// Each round's three conversations run on their own multiplexed
+	// channels; -concurrency bounds how many whole rounds are in flight
+	// on the connection at once.
+	lo, hi := u/4, u/4+99
+	phi := 0.001
+	// Every error inside a round is reported as that round's output —
+	// never log.Fatal/os.Exit from a round goroutine, which would
+	// discard the other rounds' buffered results.
+	runRound := func(r int) []string {
+		t0 := time.Now()
+		var lines []string
+		fail := func(name string, err error) {
+			transportFailed.Store(true)
+			lines = append(lines, fmt.Sprintf("%s: %v", name, err))
+		}
+		if err := rqvs[r].SetQuery(lo, hi); err != nil {
+			fail("RANGE QUERY", err)
+			return lines
+		}
+		if err := hhvs[r].SetQuery(phi); err != nil {
+			fail("HEAVY HITTERS", err)
+			return lines
+		}
+		f2h, err := client.QueryAsync(wire.QuerySelfJoinSize, wire.QueryParams{}, f2vs[r])
+		if err != nil {
+			fail("SELF-JOIN SIZE (F2)", err)
+			return lines
+		}
+		rqh, err := client.QueryAsync(wire.QueryRangeQuery, wire.QueryParams{A: lo, B: hi}, rqvs[r])
+		if err != nil {
+			fail("RANGE QUERY", err)
+			return lines
+		}
+		hhh, err := client.QueryAsync(wire.QueryHeavyHitters, wire.QueryParams{Phi: phi}, hhvs[r])
+		if err != nil {
+			fail("HEAVY HITTERS", err)
+			return lines
+		}
+
+		stats, err := f2h.Wait()
+		lines = append(lines, report("SELF-JOIN SIZE (F2)", stats, err))
+		if err == nil {
+			if res, rerr := f2vs[r].Result(); rerr != nil {
+				fail("SELF-JOIN SIZE (F2) result", rerr)
+			} else {
+				lines = append(lines, fmt.Sprintf("  F2 = %d", res))
+			}
+		}
+		stats, err = rqh.Wait()
+		lines = append(lines, report(fmt.Sprintf("RANGE QUERY [%d,%d]", lo, hi), stats, err))
+		if err == nil {
+			if entries, rerr := rqvs[r].Result(); rerr != nil {
+				fail("RANGE QUERY result", rerr)
+			} else {
+				lines = append(lines, fmt.Sprintf("  %d nonzero entries verified", len(entries)))
+			}
+		}
+		stats, err = hhh.Wait()
+		lines = append(lines, report(fmt.Sprintf("HEAVY HITTERS (φ=%g)", phi), stats, err))
+		if err == nil {
+			if hhRes, _, rerr := hhvs[r].Result(); rerr != nil {
+				fail("HEAVY HITTERS result", rerr)
+			} else {
+				lines = append(lines, fmt.Sprintf("  %d heavy hitters verified complete", len(hhRes)))
+			}
+		}
+		lines = append(lines, fmt.Sprintf("round wall time: %v", time.Since(t0).Round(time.Millisecond)))
+		return lines
+	}
+
+	t0 := time.Now()
+	results := make([][]string, rounds)
+	sem := make(chan struct{}, *concurrency)
+	var wg sync.WaitGroup
 	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[r] = runRound(r)
+		}(r)
+	}
+	wg.Wait()
+	for r, lines := range results {
 		if rounds > 1 {
 			fmt.Printf("--- query round %d/%d (no re-upload, no server-side replay) ---\n", r+1, rounds)
 		}
-		t0 := time.Now()
-
-		// SELF-JOIN SIZE.
-		stats, err := client.Query(wire.QuerySelfJoinSize, wire.QueryParams{}, f2vs[r])
-		report("SELF-JOIN SIZE (F2)", stats, err)
-		if err == nil {
-			res, rerr := f2vs[r].Result()
-			check(rerr)
-			fmt.Printf("  F2 = %d\n", res)
+		for _, l := range lines {
+			fmt.Println(l)
 		}
-
-		// RANGE QUERY over a small window.
-		lo, hi := u/4, u/4+99
-		check(rqvs[r].SetQuery(lo, hi))
-		stats, err = client.Query(wire.QueryRangeQuery, wire.QueryParams{A: lo, B: hi}, rqvs[r])
-		report(fmt.Sprintf("RANGE QUERY [%d,%d]", lo, hi), stats, err)
-		if err == nil {
-			entries, rerr := rqvs[r].Result()
-			check(rerr)
-			fmt.Printf("  %d nonzero entries verified\n", len(entries))
-		}
-
-		// HEAVY HITTERS.
-		phi := 0.001
-		check(hhvs[r].SetQuery(phi))
-		stats, err = client.Query(wire.QueryHeavyHitters, wire.QueryParams{Phi: phi}, hhvs[r])
-		report(fmt.Sprintf("HEAVY HITTERS (φ=%g)", phi), stats, err)
-		if err == nil {
-			hh, _, rerr := hhvs[r].Result()
-			check(rerr)
-			fmt.Printf("  %d heavy hitters verified complete\n", len(hh))
-		}
-		fmt.Printf("round wall time: %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if rounds > 1 {
+		fmt.Printf("%d rounds, concurrency %d: total wall time %v\n",
+			rounds, *concurrency, time.Since(t0).Round(time.Millisecond))
+	}
+	if transportFailed.Load() {
+		os.Exit(1)
 	}
 }
 
-func report(name string, stats core.Stats, err error) {
+// transportFailed is set by any round that hit a transport error; the
+// process exits nonzero after every completed round has been printed
+// (an os.Exit from inside a round goroutine would discard the others'
+// buffered output).
+var transportFailed atomic.Bool
+
+func report(name string, stats core.Stats, err error) string {
 	switch {
 	case err == nil:
-		fmt.Printf("%s: ACCEPTED — %d rounds, %d bytes of proof traffic\n", name, stats.Rounds, stats.CommBytes())
+		return fmt.Sprintf("%s: ACCEPTED — %d rounds, %d bytes of proof traffic", name, stats.Rounds, stats.CommBytes())
 	case errors.Is(err, core.ErrRejected):
-		fmt.Printf("%s: REJECTED — the cloud is cheating (%v)\n", name, err)
+		return fmt.Sprintf("%s: REJECTED — the cloud is cheating (%v)", name, err)
+	case errors.Is(err, wire.ErrBudget):
+		// A healthy server at its concurrent-query cap, not a transport
+		// failure: the conversation was refused, not broken.
+		return fmt.Sprintf("%s: REFUSED — server at capacity, lower -concurrency (%v)", name, err)
 	default:
-		fmt.Printf("%s: transport error: %v\n", name, err)
-		os.Exit(1)
+		transportFailed.Store(true)
+		return fmt.Sprintf("%s: transport error: %v", name, err)
 	}
 }
 

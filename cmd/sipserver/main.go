@@ -56,6 +56,7 @@ func main() {
 	maxLogu := flag.Int("max-logu", 26, "largest log2 universe a client may open")
 	maxDatasets := flag.Int("max-datasets", wire.DefaultMaxDatasets, "cap on named datasets")
 	maxPrivate := flag.Int("max-private", wire.DefaultMaxPrivateDatasets, "count backstop on concurrent v1 private datasets (-1 = no cap; the byte-level defense is -mem-budget)")
+	maxQueries := flag.Int("max-queries", wire.DefaultMaxConcurrentQueries, "multiplexed query conversations in flight per connection (-1 = no cap); excess channel opens are refused with a budget frame")
 	dataDir := flag.String("data-dir", "", "checkpoint directory: enables eviction, durability, and restart recovery")
 	memBudget := flag.Int64("mem-budget", 0, "aggregate resident dataset memory in bytes; LRU datasets evict to -data-dir (0 = unlimited)")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval for dirty datasets (needs -data-dir; 0 = only on eviction/shutdown)")
@@ -71,14 +72,15 @@ func main() {
 	eng := engine.New(f, *workers)
 	eng.SetMaxDatasets(*maxDatasets)
 	srv := &wire.Server{
-		F:                  f,
-		Workers:            *workers,
-		Engine:             eng,
-		IdleTimeout:        *idle,
-		MaxUniverse:        uint64(1) << *maxLogu,
-		MaxPrivateDatasets: *maxPrivate,
-		MemBudget:          *memBudget,
-		DataDir:            *dataDir,
+		F:                    f,
+		Workers:              *workers,
+		Engine:               eng,
+		IdleTimeout:          *idle,
+		MaxUniverse:          uint64(1) << *maxLogu,
+		MaxPrivateDatasets:   *maxPrivate,
+		MaxConcurrentQueries: *maxQueries,
+		MemBudget:            *memBudget,
+		DataDir:              *dataDir,
 	}
 	if *dataDir != "" {
 		srv.CheckpointEvery = *ckptEvery

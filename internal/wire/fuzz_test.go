@@ -18,13 +18,65 @@ func FuzzDecodeMsg(f *testing.F) {
 	f.Add(encodeMsg(core.Msg{}))
 	f.Add(encodeMsg(core.Msg{Ints: []uint64{1, 2}, Elems: []field.Elem{3}}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	// Overflow corpus: headers whose 8 + 8*nInts + 8*nElems wraps a
+	// 32-bit int. On 32-bit platforms these used to slip past the length
+	// check into a giant allocation; they must be refused by the word
+	// bound before any size arithmetic.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00}) // nInts just past maxFrame/8
+	f.Add([]byte{0x00, 0x00, 0x80, 0x00, 0x00, 0x00, 0x80, 0x00}) // both sections at the bound
 	f.Fuzz(func(t *testing.T, b []byte) {
 		m, err := decodeMsg(b)
 		if err != nil {
 			return
 		}
+		if len(m.Ints) > maxFrame/8 || len(m.Elems) > maxFrame/8 {
+			t.Fatalf("decodeMsg accepted %d+%d words, past the frame bound", len(m.Ints), len(m.Elems))
+		}
 		if got := encodeMsg(m); !bytes.Equal(got, b) {
 			t.Fatalf("re-encode of a valid message differs: %x vs %x", got, b)
+		}
+	})
+}
+
+// TestDecodeMsgHeaderOverflow pins the satellite bugfix: a header whose
+// claimed section sizes would overflow the int arithmetic (or demand a
+// multi-GiB allocation) is rejected up front, whatever the platform's
+// int width.
+func TestDecodeMsgHeaderOverflow(t *testing.T) {
+	cases := [][]byte{
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // 2^32-1 of each
+		{0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00}, // nInts = 2^32-1
+		{0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0xff}, // nElems = 2^32-1
+		{0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00}, // nInts = maxFrame/8 + 1
+	}
+	for _, b := range cases {
+		if _, err := decodeMsg(b); err == nil {
+			t.Errorf("decodeMsg accepted a header claiming %x words", b)
+		}
+	}
+	// At the bound the header is structurally fine and only the length
+	// check applies — it must fail on length, not panic or allocate.
+	atBound := []byte{0x00, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00}
+	if _, err := decodeMsg(atBound); err == nil {
+		t.Error("decodeMsg accepted a bound-sized header with no body")
+	}
+}
+
+// FuzzDecodeChannel covers the mux revision's channel-id framing: the
+// decoder never panics, and a successful decode re-encodes identically.
+func FuzzDecodeChannel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeChannel(0, nil))
+	f.Add(encodeChannel(1, encodeQuery(QuerySelfJoinSize, QueryParams{})))
+	f.Add(encodeChannel(^uint32(0), encodeMsg(core.Msg{Ints: []uint64{7}})))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		id, rest, err := decodeChannel(b)
+		if err != nil {
+			return
+		}
+		if got := encodeChannel(id, rest); !bytes.Equal(got, b) {
+			t.Fatalf("re-encode of a valid channel frame differs: %x vs %x", got, b)
 		}
 	})
 }

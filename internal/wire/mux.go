@@ -1,0 +1,492 @@
+// Multiplexed query conversations: the wire layer's answer to the
+// paper's many-cheap-conversations deployment. One connection holds any
+// number of concurrent query conversations, each on its own uint32
+// channel id:
+//
+//   - the client opens a channel with frameQueryCh [ch][kind+params] and
+//     drives it with frameChallengeCh/frameFinishCh frames;
+//   - the server runs each channel's conversation in its own goroutine
+//     against its own immutable snapshot (taken, in arrival order, when
+//     the query frame is read), answering with frameProverCh frames;
+//   - channel failures travel as frameErrorCh/frameBudgetCh and kill
+//     only that conversation — the connection, its other channels, and
+//     interleaved ingestion continue.
+//
+// Back-pressure rule: each channel's inbound queue holds a few frames
+// (the conversations are lock-step, so an honest peer never has more
+// than one in flight); a client that floods one channel stalls its own
+// connection's read loop, never the server or other connections.
+// Channel opens past Server.MaxConcurrentQueries are refused with a
+// per-channel budget frame, the same treatment as engine admission.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// encodeChannel prefixes a frame payload with its channel id.
+func encodeChannel(id uint32, payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(out[:4], id)
+	copy(out[4:], payload)
+	return out
+}
+
+// decodeChannel splits a channel-scoped payload into id and body.
+func decodeChannel(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("%w: channel frame of %d bytes", ErrProtocol, len(b))
+	}
+	return binary.LittleEndian.Uint32(b[:4]), b[4:], nil
+}
+
+// muxFrame is one channel-scoped frame with the id already stripped.
+type muxFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// ---------------------------------------------------------------------
+// Server side
+
+// connMux is the per-connection conversation multiplexer: it serializes
+// frame writes (the read loop's acks and every conversation goroutine
+// share one socket) and routes inbound channel frames to the goroutine
+// that owns the channel.
+type connMux struct {
+	s    *Server
+	conn net.Conn
+	wmu  sync.Mutex
+
+	mu    sync.Mutex
+	chans map[uint32]*muxChan
+	// dead tombstones channels that failed server-side: lock-step means
+	// at most one client frame can cross the error on the wire, and an
+	// honest client (which stops on the error) sends none at all — so
+	// the set is bounded to the newest maxDeadChannels failures
+	// (deadOrder is the FIFO) instead of growing with every failed
+	// conversation over a long-lived connection.
+	dead      map[uint32]struct{}
+	deadOrder []uint32
+	active    int
+	wg        sync.WaitGroup
+	done      chan struct{} // closed when the connection's read loop exits
+}
+
+// maxDeadChannels bounds the tombstone set per connection. A stray
+// frame, if one is ever in flight, arrives immediately behind the error
+// that orphaned it; tombstones deeper than this are stale.
+const maxDeadChannels = 128
+
+// removeTombstoneLocked consumes a tombstone from both the set and the
+// FIFO, so a pruned slot can never evict a fresh tombstone for a reused
+// id. Caller holds m.mu.
+func (m *connMux) removeTombstoneLocked(id uint32) {
+	if _, ok := m.dead[id]; !ok {
+		return
+	}
+	delete(m.dead, id)
+	for i, d := range m.deadOrder {
+		if d == id {
+			m.deadOrder = append(m.deadOrder[:i], m.deadOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// muxChan is one live conversation channel: its inbound frame queue and
+// a latch the read loop can select against so a conversation that dies
+// mid-frame never wedges the connection.
+type muxChan struct {
+	q    chan muxFrame
+	done chan struct{}
+	// released records that this channel's MaxConcurrentQueries slot was
+	// already returned (guarded by connMux.mu). The read loop releases
+	// the slot the moment the finish frame arrives — not when the
+	// conversation goroutine gets around to consuming it — so a strictly
+	// serial client at the concurrency cap is never spuriously refused.
+	released bool
+}
+
+func newConnMux(s *Server, conn net.Conn) *connMux {
+	return &connMux{
+		s:     s,
+		conn:  conn,
+		chans: make(map[uint32]*muxChan),
+		dead:  make(map[uint32]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// write sends one frame, serialized against every other writer on this
+// connection and carrying the server's idle deadline.
+func (m *connMux) write(typ byte, payload []byte) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return m.s.write(m.conn, typ, payload)
+}
+
+// shutdown unblocks and drains every conversation goroutine. Called as
+// the connection handler unwinds, before any final error frame or the
+// socket close, so no goroutine can interleave a write with either.
+func (m *connMux) shutdown() {
+	close(m.done)
+	m.wg.Wait()
+}
+
+// dispatch handles one channel-scoped frame from the read loop.
+func (m *connMux) dispatch(typ byte, payload []byte, ds *engine.Dataset, st connState) error {
+	if st != connV1Done && st != connV2 {
+		return fmt.Errorf("%w: conversation frame before queries are allowed", ErrProtocol)
+	}
+	id, rest, err := decodeChannel(payload)
+	if err != nil {
+		return err
+	}
+	if id == 0 {
+		return fmt.Errorf("%w: channel id 0 is reserved for the control plane", ErrProtocol)
+	}
+	if typ == frameQueryCh {
+		return m.open(id, rest, ds, st)
+	}
+	m.mu.Lock()
+	mc := m.chans[id]
+	if mc != nil && typ == frameFinishCh && !mc.released {
+		mc.released = true
+		m.active--
+	}
+	if mc == nil {
+		// A channel the server failed may see exactly one more frame from
+		// the client (lock-step: the challenge that crossed our error on
+		// the wire). Consume the tombstone and drop the frame; anything
+		// else is a protocol violation.
+		if _, ok := m.dead[id]; ok {
+			m.removeTombstoneLocked(id)
+			m.mu.Unlock()
+			return nil
+		}
+		m.mu.Unlock()
+		return fmt.Errorf("%w: frame 0x%02x for unknown channel %d", ErrProtocol, typ, id)
+	}
+	m.mu.Unlock()
+	select {
+	case mc.q <- muxFrame{typ: typ, payload: rest}:
+	case <-mc.done:
+		// The conversation ended while this frame was in flight; drop it.
+	}
+	return nil
+}
+
+// open starts a new conversation channel: admission, a fresh snapshot
+// (taken here, in frame-arrival order, so a query never observes
+// updates the client sent after it), and the conversation goroutine.
+func (m *connMux) open(id uint32, body []byte, ds *engine.Dataset, st connState) error {
+	kind, params, err := decodeQuery(body)
+	if err != nil {
+		return err
+	}
+	limit := m.s.MaxConcurrentQueries
+	if limit == 0 {
+		limit = DefaultMaxConcurrentQueries
+	}
+	m.mu.Lock()
+	if _, dup := m.chans[id]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: channel %d is already open", ErrProtocol, id)
+	}
+	m.removeTombstoneLocked(id) // the id is being reused; the stray never came
+	if limit > 0 && m.active >= limit {
+		m.mu.Unlock()
+		// Same treatment as engine admission: a resource refusal on this
+		// channel only, not a protocol violation — the connection and its
+		// other conversations continue.
+		return m.write(frameBudgetCh, encodeChannel(id,
+			fmt.Appendf(nil, "too many concurrent queries (limit %d)", limit)))
+	}
+	mc := &muxChan{q: make(chan muxFrame, 4), done: make(chan struct{})}
+	m.chans[id] = mc
+	m.active++
+	m.mu.Unlock()
+
+	// The snapshot is taken synchronously so the conversation's view is
+	// fixed before the read loop touches the next frame — a query never
+	// observes updates its client sent after it. For a resident dataset
+	// this is O(1); for an evicted one it is the rehydrate, which stalls
+	// this connection's read loop (a deliberate trade: the ordering
+	// guarantee over cold-start latency — other connections are
+	// unaffected, and the dataset a connection queries is hot by its own
+	// use). The expensive prover construction happens in the
+	// conversation goroutine either way.
+	snap, err := ds.SnapshotErr()
+	if err != nil {
+		m.finish(id, mc, err)
+		if errors.Is(err, engine.ErrBudget) {
+			return nil // channel-level refusal already sent by finish
+		}
+		return err
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.finish(id, mc, m.serve(id, mc, snap, ds, st, kind, params))
+	}()
+	return nil
+}
+
+// finish retires a channel: unregister, tombstone on failure, and the
+// typed per-channel error frame.
+func (m *connMux) finish(id uint32, mc *muxChan, err error) {
+	close(mc.done)
+	m.mu.Lock()
+	if m.chans[id] == mc {
+		delete(m.chans, id)
+		if !mc.released {
+			mc.released = true
+			m.active--
+		}
+	}
+	if err != nil {
+		if _, ok := m.dead[id]; !ok {
+			m.dead[id] = struct{}{}
+			m.deadOrder = append(m.deadOrder, id)
+			if len(m.deadOrder) > maxDeadChannels {
+				delete(m.dead, m.deadOrder[0])
+				m.deadOrder = m.deadOrder[1:]
+			}
+		}
+	}
+	m.mu.Unlock()
+	if err != nil {
+		typ := byte(frameErrorCh)
+		if errors.Is(err, engine.ErrBudget) {
+			typ = frameBudgetCh
+		}
+		_ = m.write(typ, encodeChannel(id, []byte(err.Error())))
+	}
+}
+
+// serve runs one channel's conversation: build the prover session from
+// the snapshot, then answer challenges until the client finishes, the
+// session errors, or the connection goes away.
+func (m *connMux) serve(id uint32, mc *muxChan, snap *engine.Snapshot, ds *engine.Dataset, st connState, kind QueryKind, params QueryParams) error {
+	session, err := m.s.buildSession(snap, ds, st, kind, params)
+	if err != nil {
+		return err
+	}
+	opening, err := session.Open()
+	if err != nil {
+		return err
+	}
+	if err := m.write(frameProverCh, encodeChannel(id, encodeMsg(opening))); err != nil {
+		return err
+	}
+	for {
+		var fr muxFrame
+		select {
+		case fr = <-mc.q:
+		case <-m.done:
+			return nil // connection closing; the handler reports its own error
+		}
+		switch fr.typ {
+		case frameFinishCh:
+			return nil
+		case frameChallengeCh:
+			ch, err := decodeMsg(fr.payload)
+			if err != nil {
+				return err
+			}
+			resp, err := session.Step(ch)
+			if err != nil {
+				return err
+			}
+			if err := m.write(frameProverCh, encodeChannel(id, encodeMsg(resp))); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame 0x%02x mid-conversation", ErrProtocol, fr.typ)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Client side
+
+// QueryHandle is one in-flight multiplexed query conversation, returned
+// by Client.QueryAsync. The conversation is driven by its own goroutine
+// (the registered verifier session must not be touched until Wait
+// returns).
+type QueryHandle struct {
+	c  *Client
+	id uint32
+	v  core.VerifierSession
+	in chan muxFrame
+
+	done  chan struct{}
+	stats core.Stats
+	err   error
+}
+
+// QueryAsync starts a query conversation on its own channel and returns
+// immediately; any number may be in flight on one connection, and
+// ingestion calls may interleave with them. The verifier session is
+// owned by the conversation goroutine until Wait returns.
+func (c *Client) QueryAsync(kind QueryKind, params QueryParams, v core.VerifierSession) (*QueryHandle, error) {
+	c.cmu.Lock()
+	switch {
+	case c.mode == modeUnset:
+		c.cmu.Unlock()
+		return nil, fmt.Errorf("wire: QueryAsync before Hello or OpenDataset")
+	case c.mode == modeV1 && !c.v1Done:
+		c.cmu.Unlock()
+		return nil, fmt.Errorf("wire: QueryAsync before EndStream on a v1 connection")
+	}
+	c.cmu.Unlock()
+
+	c.mu.Lock()
+	if c.readErr != nil {
+		c.mu.Unlock()
+		return nil, c.termErr()
+	}
+	// Channel ids are client-allocated, nonzero, and never reused while
+	// live (the counter would have to lap a still-open conversation).
+	for {
+		c.nextCh++
+		if c.nextCh == 0 {
+			c.nextCh = 1
+		}
+		if _, live := c.handles[c.nextCh]; !live {
+			break
+		}
+	}
+	h := &QueryHandle{
+		c:    c,
+		id:   c.nextCh,
+		v:    v,
+		in:   make(chan muxFrame, 4),
+		done: make(chan struct{}),
+	}
+	c.handles[h.id] = h
+	c.mu.Unlock()
+
+	if err := c.write(frameQueryCh, encodeChannel(h.id, encodeQuery(kind, params))); err != nil {
+		c.unregister(h.id)
+		return nil, err
+	}
+	go h.run()
+	return h, nil
+}
+
+// Wait blocks until the conversation completes and returns its cost
+// accounting. A nil error means the verifier accepted; results are read
+// from the concrete verifier session afterwards.
+func (h *QueryHandle) Wait() (core.Stats, error) {
+	<-h.done
+	return h.stats, h.err
+}
+
+func (c *Client) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.handles, id)
+	c.mu.Unlock()
+}
+
+// deliver routes one inbound frame to the conversation goroutine. The
+// queue is sized for the lock-step protocol, so overflow can only come
+// from a misbehaving server; it reports false and the reader treats it
+// as a connection-fatal protocol violation (silently dropping the frame
+// would leave the conversation waiting forever on a Timeout-less
+// client).
+func (h *QueryHandle) deliver(fr muxFrame) bool {
+	select {
+	case h.in <- fr:
+		return true
+	default:
+		return false
+	}
+}
+
+func (h *QueryHandle) run() {
+	defer close(h.done)
+	defer h.c.unregister(h.id)
+	h.err = h.converse()
+}
+
+// converse drives the verifier side of one channel's conversation.
+func (h *QueryHandle) converse() error {
+	msg, srvDead, err := h.msg()
+	if err != nil {
+		return err
+	}
+	st := &h.stats
+	st.Rounds++
+	st.WordsToVerifier += msg.Words()
+	challenge, done, err := h.v.Begin(msg)
+	for !done {
+		if err != nil {
+			break
+		}
+		st.WordsToProver += challenge.Words()
+		if err = h.c.write(frameChallengeCh, encodeChannel(h.id, encodeMsg(challenge))); err != nil {
+			return err
+		}
+		msg, srvDead, err = h.msg()
+		if err != nil {
+			return err
+		}
+		st.Rounds++
+		st.WordsToVerifier += msg.Words()
+		challenge, done, err = h.v.Step(msg)
+	}
+	// Close the channel server-side — unless the server already failed
+	// it (srvDead), in which case there is nothing left to finish.
+	if !srvDead {
+		if ferr := h.c.write(frameFinishCh, encodeChannel(h.id, nil)); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// msg waits for the next prover message on this channel, honoring the
+// client timeout. srvDead reports that the server ended the channel
+// (error or budget frame), so no finish frame should follow.
+func (h *QueryHandle) msg() (m core.Msg, srvDead bool, err error) {
+	var timeout <-chan time.Time
+	if h.c.Timeout > 0 {
+		t := time.NewTimer(h.c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var fr muxFrame
+	select {
+	case fr = <-h.in:
+	case <-h.c.readerDone:
+		select {
+		case fr = <-h.in:
+		default:
+			return core.Msg{}, false, h.c.termErr()
+		}
+	case <-timeout:
+		h.c.conn.Close()
+		return core.Msg{}, false, fmt.Errorf("%w: no prover message within %v", ErrTimeout, h.c.Timeout)
+	}
+	switch fr.typ {
+	case frameProverCh:
+		m, err = decodeMsg(fr.payload)
+		return m, false, err
+	case frameBudgetCh:
+		return core.Msg{}, true, fmt.Errorf("%w: %s", ErrBudget, fr.payload)
+	case frameErrorCh:
+		return core.Msg{}, true, fmt.Errorf("wire: server error: %s", fr.payload)
+	default:
+		return core.Msg{}, false, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, fr.typ)
+	}
+}

@@ -26,9 +26,16 @@
 //     update batch is acknowledged with the dataset's new update count,
 //     so cooperating uploaders can sequence their work.
 //
+// Both flows share the multiplexed conversation revision: after attach,
+// each query conversation runs on its own channel id in its own server
+// goroutine against its own immutable snapshot, so one connection holds
+// any number of overlapped conversations while ingestion keeps flowing
+// between their frames (see mux.go and Client.QueryAsync).
+//
 // Framing: every frame is [uint32 length][uint8 type][payload], payloads
 // little-endian via encoding/binary. Protocol messages (core.Msg) are
-// encoded as [uint32 nInts][uint32 nElems][ints…][elems…].
+// encoded as [uint32 nInts][uint32 nElems][ints…][elems…]. Channel
+// frames prefix the payload with a uint32 channel id.
 package wire
 
 import (
@@ -38,6 +45,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -47,19 +55,29 @@ import (
 	"repro/internal/stream"
 )
 
-// Frame types.
+// Frame types. Frames 0x01–0x0b are connection-scoped (the implicit
+// control channel); frames 0x0c–0x11 are the mux revision's
+// channel-scoped conversation frames, whose payload begins with a
+// uint32 channel id (see mux.go).
 const (
 	frameHello     = 0x01 // client→server: universe size (v1, private dataset)
 	frameUpdates   = 0x02 // client→server: batch of (index, delta)
-	frameEndStream = 0x03 // client→server: v1 upload finished
-	frameQuery     = 0x04 // client→server: query kind + parameters
-	frameProver    = 0x05 // server→client: prover message
-	frameChallenge = 0x06 // client→server: verifier challenge
-	frameFinish    = 0x07 // client→server: conversation over
-	frameError     = 0x08 // server→client: error text
+	frameEndStream = 0x03 // client→server: v1 upload finished (acked with frameOK)
+	frameQuery     = 0x04 // client→server: query kind + parameters (serial conversation)
+	frameProver    = 0x05 // server→client: prover message (serial conversation)
+	frameChallenge = 0x06 // client→server: verifier challenge (serial conversation)
+	frameFinish    = 0x07 // client→server: conversation over (serial conversation)
+	frameError     = 0x08 // server→client: connection-fatal error text
 	frameOpen      = 0x09 // client→server: attach to named dataset (v2)
-	frameOK        = 0x0a // server→client: ack with dataset update count (v2)
+	frameOK        = 0x0a // server→client: ack with dataset update count
 	frameBudget    = 0x0b // server→client: admission refused, memory budget exhausted
+
+	frameQueryCh     = 0x0c // client→server: open conversation channel [ch][query]
+	frameChallengeCh = 0x0d // client→server: verifier challenge [ch][msg]
+	frameProverCh    = 0x0e // server→client: prover message [ch][msg]
+	frameFinishCh    = 0x0f // client→server: conversation over [ch]
+	frameErrorCh     = 0x10 // server→client: channel failed [ch][text]; connection survives
+	frameBudgetCh    = 0x11 // server→client: channel refused, budget/cap exhausted [ch][text]
 )
 
 // QueryKind enumerates the queries the server answers; the values live in
@@ -107,6 +125,12 @@ const DefaultMaxDatasets = 1024
 // every hello is charged against; the count cap remains as a blunt
 // connection-level backstop for servers running without a budget.
 const DefaultMaxPrivateDatasets = 32
+
+// DefaultMaxConcurrentQueries caps the multiplexed query conversations
+// in flight on one connection when Server.MaxConcurrentQueries is zero.
+// Each conversation pins one goroutine and one prover session (O(u)
+// table views), so the cap bounds what a single connection can demand.
+const DefaultMaxConcurrentQueries = 64
 
 // ErrProtocol reports a malformed or unexpected frame.
 var ErrProtocol = errors.New("wire: protocol error")
@@ -172,6 +196,15 @@ func decodeMsg(b []byte) (core.Msg, error) {
 	}
 	nInts := binary.LittleEndian.Uint32(b[0:4])
 	nElems := binary.LittleEndian.Uint32(b[4:8])
+	// Bound the section counts before any size arithmetic: on 32-bit
+	// platforms a crafted header can overflow `want` (8 + 8*nInts +
+	// 8*nElems in int) into a small value, or force a giant allocation
+	// before the length check below runs. Nothing legitimate exceeds
+	// maxFrame/8 words per section.
+	const maxWords = maxFrame / 8
+	if uint64(nInts) > maxWords || uint64(nElems) > maxWords {
+		return core.Msg{}, fmt.Errorf("%w: message header claims %d+%d words", ErrProtocol, nInts, nElems)
+	}
 	want := 8 + 8*int(nInts) + 8*int(nElems)
 	if len(b) != want {
 		return core.Msg{}, fmt.Errorf("%w: message body %d bytes, want %d", ErrProtocol, len(b), want)
@@ -302,6 +335,13 @@ type Server struct {
 	// released when the connection ends, so byte-level governance does
 	// not depend on this count.
 	MaxPrivateDatasets int
+	// MaxConcurrentQueries caps the multiplexed query conversations in
+	// flight per connection. An excess channel open is refused with a
+	// per-channel budget frame (the conversation fails typed as
+	// ErrBudget client-side; the connection and its other conversations
+	// continue). Zero selects DefaultMaxConcurrentQueries; negative
+	// means no cap.
+	MaxConcurrentQueries int
 	// MemBudget caps the engine's aggregate resident dataset memory in
 	// bytes (engine.SetBudget). When admission would exceed it, LRU
 	// datasets are evicted to DataDir; with no DataDir the open or
@@ -323,7 +363,7 @@ type Server struct {
 	Corrupt func(counts []int64) []int64
 
 	mu        sync.Mutex
-	ln        net.Listener
+	lns       map[net.Listener]struct{} // every listener currently being served
 	closed    bool
 	inited    bool                  // engine configured (budget/data dir/recovery) by Serve
 	ownEngine bool                  // engine was created by this server (Close may close it)
@@ -348,16 +388,20 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		return ErrServerClosed
 	}
-	s.ln = ln
+	// Every listener being served is tracked in a set: Serve may be
+	// called concurrently on several listeners (sharing one engine), and
+	// Close must stop all of them, not just the most recent.
+	if s.lns == nil {
+		s.lns = make(map[net.Listener]struct{})
+	}
+	s.lns[ln] = struct{}{}
 	s.mu.Unlock()
 	if err := s.engineInit(); err != nil {
 		// A Serve that never accepted must not leave the listener
 		// registered: per the contract above, a later Close closes only
 		// listeners the server actually served.
 		s.mu.Lock()
-		if s.ln == ln {
-			s.ln = nil
-		}
+		delete(s.lns, ln)
 		s.mu.Unlock()
 		return err
 	}
@@ -366,6 +410,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
+			if !closed {
+				// The listener died on its own; it is no longer served,
+				// so a later Close must not touch it.
+				delete(s.lns, ln)
+			}
 			s.mu.Unlock()
 			if closed {
 				return ErrServerClosed
@@ -448,7 +497,7 @@ func (s *Server) engineInit() error {
 	return nil
 }
 
-// Close stops the listener, closes every live connection, and waits for
+// Close stops every served listener, closes every live connection, and waits for
 // the handler goroutines to drain before any final persistence; a Serve
 // in flight (or started later) returns ErrServerClosed. Close is
 // idempotent — each served listener is closed at most once. If this
@@ -464,8 +513,11 @@ func (s *Server) engineInit() error {
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
-	ln := s.ln
-	s.ln = nil
+	lns := make([]net.Listener, 0, len(s.lns))
+	for ln := range s.lns {
+		lns = append(lns, ln)
+	}
+	s.lns = nil
 	eng := s.Engine
 	persist := s.ownEngine && s.inited && s.DataDir != ""
 	conns := make([]net.Conn, 0, len(s.conns))
@@ -474,8 +526,8 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	var lnErr error
-	if ln != nil {
-		lnErr = ln.Close()
+	for _, ln := range lns {
+		lnErr = errors.Join(lnErr, ln.Close())
 	}
 	// Interrupt handlers blocked on socket reads (a closed conn fails the
 	// next read; an in-flight IngestColumns still completes), then wait
@@ -576,7 +628,12 @@ func (s *Server) handle(conn net.Conn) error {
 	var ds *engine.Dataset // v1: private; v2: shared named dataset
 	v1Slot := false
 	var v1Bytes int64 // budget reservation held by this connection's private dataset
+	mux := newConnMux(s, conn)
 	defer func() {
+		// Unblock and drain this connection's conversation goroutines
+		// before the handler's caller writes any final error frame or
+		// closes the socket.
+		mux.shutdown()
 		if v1Bytes > 0 {
 			s.engineRef().ReleaseBytes(v1Bytes)
 		}
@@ -623,7 +680,7 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			st = connV1Load
-			if err := s.write(conn, frameOK, encodeCount(0)); err != nil {
+			if err := mux.write(frameOK, encodeCount(0)); err != nil {
 				return err
 			}
 		case frameOpen:
@@ -641,7 +698,7 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			st = connV2
-			if err := s.write(conn, frameOK, encodeCount(ds.Updates())); err != nil {
+			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
 				return err
 			}
 		case frameUpdates:
@@ -656,7 +713,7 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			if st == connV2 {
-				if err := s.write(conn, frameOK, encodeCount(ds.Updates())); err != nil {
+				if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
 					return err
 				}
 			}
@@ -665,6 +722,12 @@ func (s *Server) handle(conn net.Conn) error {
 				return fmt.Errorf("%w: end-of-stream outside a v1 upload", ErrProtocol)
 			}
 			st = connV1Done
+			// The ack closes the v1 upload's only unacknowledged window:
+			// any ingest failure has already killed the connection by now,
+			// so a client that reads this OK knows every batch folded.
+			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
+				return err
+			}
 		case frameQuery:
 			if st != connV1Done && st != connV2 {
 				return fmt.Errorf("%w: query before end of stream", ErrProtocol)
@@ -673,25 +736,21 @@ func (s *Server) handle(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			// Snapshots rehydrate evicted v2 datasets transparently; the
+			// Snapshots rehydrate evicted datasets transparently; the
 			// admission control inside can refuse with a budget error.
 			snap, err := ds.SnapshotErr()
 			if err != nil {
 				return err
 			}
-			if st == connV1Done && s.Corrupt != nil {
-				// The dishonest cloud rewrites a clone of its maintained
-				// counts and proves from the doctored state.
-				counts := s.Corrupt(append([]int64(nil), snap.Counts()...))
-				if snap, err = engine.SnapshotFromCounts(s.F, ds.UniverseSize(), s.Workers, counts); err != nil {
-					return err
-				}
-			}
-			session, err := snap.NewProver(kind, params)
+			session, err := s.buildSession(snap, ds, st, kind, params)
 			if err != nil {
 				return err
 			}
-			if err := s.converse(conn, session); err != nil {
+			if err := s.converse(conn, mux, session); err != nil {
+				return err
+			}
+		case frameQueryCh, frameChallengeCh, frameFinishCh:
+			if err := mux.dispatch(typ, payload, ds, st); err != nil {
 				return err
 			}
 		default:
@@ -700,13 +759,30 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 }
 
-// converse drives one query conversation from the prover side.
-func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
+// buildSession constructs the prover session for one query from an
+// already-taken snapshot — shared by the serial and multiplexed
+// conversation paths so they can never diverge. On the v1 path a
+// configured Corrupt hook rewrites a clone of the maintained counts
+// first — the dishonest cloud proves from doctored state.
+func (s *Server) buildSession(snap *engine.Snapshot, ds *engine.Dataset, st connState, kind QueryKind, params QueryParams) (core.ProverSession, error) {
+	if st == connV1Done && s.Corrupt != nil {
+		counts := s.Corrupt(append([]int64(nil), snap.Counts()...))
+		var err error
+		if snap, err = engine.SnapshotFromCounts(s.F, ds.UniverseSize(), s.Workers, counts); err != nil {
+			return nil, err
+		}
+	}
+	return snap.NewProver(kind, params)
+}
+
+// converse drives one serial (pre-mux) query conversation from the
+// prover side: the read loop is parked here until the client finishes.
+func (s *Server) converse(conn net.Conn, mux *connMux, p core.ProverSession) error {
 	opening, err := p.Open()
 	if err != nil {
 		return err
 	}
-	if err := s.write(conn, frameProver, encodeMsg(opening)); err != nil {
+	if err := mux.write(frameProver, encodeMsg(opening)); err != nil {
 		return err
 	}
 	for {
@@ -726,7 +802,7 @@ func (s *Server) converse(conn net.Conn, p core.ProverSession) error {
 			if err != nil {
 				return err
 			}
-			if err := s.write(conn, frameProver, encodeMsg(resp)); err != nil {
+			if err := mux.write(frameProver, encodeMsg(resp)); err != nil {
 				return err
 			}
 		default:
@@ -881,10 +957,49 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 // local verifier summaries) and drives query conversations. The v1 flow
 // is Hello → SendUpdates → EndStream → Query; the v2 flow is
 // OpenDataset → Ingest/Query in any order.
+//
+// A Client is safe for concurrent use: Query and QueryAsync multiplex
+// any number of conversations over the one connection (each on its own
+// channel id, demultiplexed by a reader goroutine), and the
+// control-plane calls (Hello, OpenDataset, Ingest, EndStream) serialize
+// among themselves.
 type Client struct {
 	conn net.Conn
-	mode connMode
+	// Timeout bounds how long the client waits for each expected server
+	// frame (and for each frame write), mirroring Server.IdleTimeout on
+	// the other end: a stalled or half-open server surfaces as a typed
+	// ErrTimeout instead of hanging Hello/Ingest/Query forever. The
+	// connection is closed on timeout — the conversation state is
+	// unrecoverable. Set it before the first call; zero means no bound.
+	Timeout time.Duration
+
+	wmu sync.Mutex // serializes frame writes
+
+	cmu    sync.Mutex // serializes control-plane request/response pairs
+	mode   connMode   // guarded by cmu
+	v1Done bool       // v1 upload acked complete; guarded by cmu
+
+	mu      sync.Mutex // guards the demux state below
+	handles map[uint32]*QueryHandle
+	nextCh  uint32
+	readErr error // terminal reader failure, sticky
+	srvErr  error // typed server error/budget frame seen on the control channel, sticky
+
+	ctrl       chan ctrlFrame // control-channel frames (acks, refusals)
+	readerDone chan struct{}  // closed when the demux reader exits
 }
+
+// ctrlFrame is one control-channel frame as delivered by the demux
+// reader.
+type ctrlFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// ErrTimeout reports that Client.Timeout elapsed while waiting on the
+// server; the connection has been closed. Distinguish it with
+// errors.Is(err, wire.ErrTimeout).
+var ErrTimeout = errors.New("wire: client timeout")
 
 // connMode mirrors the server's flow distinction on the client, so
 // mixing the flows fails fast locally instead of desynchronizing the
@@ -903,11 +1018,170 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{
+		conn:       conn,
+		handles:    make(map[uint32]*QueryHandle),
+		ctrl:       make(chan ctrlFrame, 16),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop is the demux reader: the only goroutine that reads the
+// socket. Channel-scoped frames are routed to their conversation
+// handle; control frames go to the ctrl queue the request/response
+// calls consume.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		typ, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.failReader(err)
+			return
+		}
+		switch typ {
+		case frameProverCh, frameErrorCh, frameBudgetCh:
+			id, rest, err := decodeChannel(payload)
+			if err != nil {
+				c.failReader(err)
+				return
+			}
+			c.mu.Lock()
+			h := c.handles[id]
+			c.mu.Unlock()
+			if h == nil {
+				continue // late frame for a finished conversation
+			}
+			if !h.deliver(muxFrame{typ: typ, payload: rest}) {
+				c.failReader(fmt.Errorf("%w: channel %d flooded beyond the lock-step window", ErrProtocol, id))
+				return
+			}
+		case frameOK, frameBudget, frameError:
+			if typ != frameOK {
+				// Remember the server's parting shot: if the connection
+				// dies before anyone reads this frame, later calls still
+				// surface the typed cause instead of a bare EOF.
+				c.mu.Lock()
+				if c.srvErr == nil {
+					c.srvErr = ctrlErr(typ, payload)
+				}
+				c.mu.Unlock()
+			}
+			select {
+			case c.ctrl <- ctrlFrame{typ: typ, payload: payload}:
+			default:
+				// The server acked something nobody asked about — the
+				// conversation is desynchronized beyond recovery.
+				c.failReader(fmt.Errorf("%w: unsolicited control frame 0x%02x", ErrProtocol, typ))
+				return
+			}
+		default:
+			c.failReader(fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ))
+			return
+		}
+	}
+}
+
+// failReader records the reader's terminal error. Open conversations
+// and control waiters observe it through readerDone.
+func (c *Client) failReader(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.mu.Unlock()
+}
+
+// termErr is the error reported once the reader has died: the typed
+// server refusal if one arrived, otherwise the transport failure.
+func (c *Client) termErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.srvErr != nil {
+		return c.srvErr
+	}
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return io.EOF
+}
+
+// ctrlErr types a server refusal frame.
+func ctrlErr(typ byte, payload []byte) error {
+	if typ == frameBudget {
+		return fmt.Errorf("%w: %s", ErrBudget, payload)
+	}
+	return fmt.Errorf("wire: server error: %s", payload)
+}
+
+// write sends one frame, serialized against every other writer on the
+// connection and bounded by Timeout. When the write fails because the
+// server already tore the connection down after an error frame, the
+// typed server error is surfaced instead of the raw transport error.
+func (c *Client) write(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	err := func() error {
+		if c.Timeout > 0 {
+			if err := c.conn.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+				return err
+			}
+		}
+		return writeFrame(c.conn, typ, payload)
+	}()
+	c.wmu.Unlock()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		// A timed-out write may have left a partial frame on the wire —
+		// the framing is unrecoverable, per the Timeout contract.
+		c.conn.Close()
+		return fmt.Errorf("%w: frame write stalled beyond %v", ErrTimeout, c.Timeout)
+	}
+	// Give the reader a beat to pick up the server's parting error frame
+	// from the receive buffer, then prefer it: "index out of range" beats
+	// "broken pipe".
+	select {
+	case <-c.readerDone:
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.mu.Lock()
+	srvErr := c.srvErr
+	c.mu.Unlock()
+	if srvErr != nil {
+		return srvErr
+	}
+	return err
+}
+
+// waitCtrl blocks for the next control-channel frame, honoring Timeout.
+func (c *Client) waitCtrl() (byte, []byte, error) {
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case fr := <-c.ctrl:
+		return fr.typ, fr.payload, nil
+	case <-c.readerDone:
+		// Drain a frame that raced in just before the reader died.
+		select {
+		case fr := <-c.ctrl:
+			return fr.typ, fr.payload, nil
+		default:
+		}
+		return 0, nil, c.termErr()
+	case <-timeout:
+		c.conn.Close()
+		return 0, nil, fmt.Errorf("%w: no server response within %v", ErrTimeout, c.Timeout)
+	}
+}
 
 // Hello announces the universe size and starts a v1 upload into a
 // private, per-connection dataset. It waits for the server's
@@ -916,12 +1190,17 @@ func (c *Client) Close() error { return c.conn.Close() }
 // ErrBudget (distinguish it with errors.Is) rather than failing some
 // later frame.
 func (c *Client) Hello(u uint64) error {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
 	if c.mode == modeV2 {
 		return fmt.Errorf("wire: Hello on a connection attached to a named dataset")
 	}
+	if c.mode == modeV1 {
+		return fmt.Errorf("wire: Hello twice on one connection")
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], u)
-	if err := writeFrame(c.conn, frameHello, b[:]); err != nil {
+	if err := c.write(frameHello, b[:]); err != nil {
 		return err
 	}
 	if _, err := c.readOK(); err != nil {
@@ -939,13 +1218,15 @@ func (c *Client) Hello(u uint64) error {
 // freely interleaved, and other connections attached to the same name
 // see the same data.
 func (c *Client) OpenDataset(name string, u uint64) (uint64, error) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
 	if c.mode == modeV1 {
 		return 0, fmt.Errorf("wire: OpenDataset on a v1 connection")
 	}
 	if name == "" || len(name) > maxDatasetName {
 		return 0, fmt.Errorf("wire: dataset name must be 1..%d bytes", maxDatasetName)
 	}
-	if err := writeFrame(c.conn, frameOpen, encodeOpen(name, u)); err != nil {
+	if err := c.write(frameOpen, encodeOpen(name, u)); err != nil {
 		return 0, err
 	}
 	count, err := c.readOK()
@@ -958,10 +1239,16 @@ func (c *Client) OpenDataset(name string, u uint64) (uint64, error) {
 // SendUpdates uploads a batch of stream updates on a v1 connection. The
 // caller feeds the same updates to its local verifiers — that is the
 // single streaming pass. The server folds each batch into its maintained
-// state as it arrives.
+// state as it arrives; batches are unacknowledged (EndStream carries the
+// ack that covers them all).
 func (c *Client) SendUpdates(ups []stream.Update) error {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
 	if c.mode != modeV1 {
 		return fmt.Errorf("wire: SendUpdates requires a v1 connection (after Hello); use Ingest on named datasets")
+	}
+	if c.v1Done {
+		return fmt.Errorf("wire: SendUpdates after EndStream")
 	}
 	const batch = 4096
 	for len(ups) > 0 {
@@ -969,7 +1256,7 @@ func (c *Client) SendUpdates(ups []stream.Update) error {
 		if n > batch {
 			n = batch
 		}
-		if err := writeFrame(c.conn, frameUpdates, encodeUpdates(ups[:n])); err != nil {
+		if err := c.write(frameUpdates, encodeUpdates(ups[:n])); err != nil {
 			return err
 		}
 		ups = ups[n:]
@@ -982,6 +1269,8 @@ func (c *Client) SendUpdates(ups []stream.Update) error {
 // update count after the last batch (including other connections'
 // concurrent ingestion).
 func (c *Client) Ingest(ups []stream.Update) (uint64, error) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
 	if c.mode != modeV2 {
 		return 0, fmt.Errorf("wire: Ingest requires an attached dataset (call OpenDataset first)")
 	}
@@ -992,7 +1281,7 @@ func (c *Client) Ingest(ups []stream.Update) (uint64, error) {
 		if n > batch {
 			n = batch
 		}
-		if err := writeFrame(c.conn, frameUpdates, encodeUpdates(ups[:n])); err != nil {
+		if err := c.write(frameUpdates, encodeUpdates(ups[:n])); err != nil {
 			return count, err
 		}
 		var err error
@@ -1014,7 +1303,7 @@ func encodeUpdates(ups []stream.Update) []byte {
 }
 
 func (c *Client) readOK() (uint64, error) {
-	typ, payload, err := readFrame(c.conn)
+	typ, payload, err := c.waitCtrl()
 	if err != nil {
 		return 0, err
 	}
@@ -1030,64 +1319,38 @@ func (c *Client) readOK() (uint64, error) {
 	}
 }
 
-// EndStream marks a v1 upload complete.
+// EndStream marks a v1 upload complete and waits for the server's
+// acknowledgement. v1 update batches are streamed without per-batch
+// acks, so this is where a mid-upload ingest failure surfaces, typed,
+// instead of desynchronizing the first query.
 func (c *Client) EndStream() error {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
 	if c.mode != modeV1 {
 		return fmt.Errorf("wire: EndStream requires a v1 connection")
 	}
-	return writeFrame(c.conn, frameEndStream, nil)
+	if c.v1Done {
+		return fmt.Errorf("wire: EndStream twice")
+	}
+	if err := c.write(frameEndStream, nil); err != nil {
+		return err
+	}
+	if _, err := c.readOK(); err != nil {
+		return err
+	}
+	c.v1Done = true
+	return nil
 }
 
 // Query sends the query and drives the conversation between the remote
 // prover and the local verifier session. A nil error means the verifier
 // accepted; results are read from the concrete verifier afterwards.
+// Query is safe to call from many goroutines at once: each call runs on
+// its own multiplexed channel (it is QueryAsync + Wait).
 func (c *Client) Query(kind QueryKind, params QueryParams, v core.VerifierSession) (core.Stats, error) {
-	var st core.Stats
-	if err := writeFrame(c.conn, frameQuery, encodeQuery(kind, params)); err != nil {
-		return st, err
-	}
-	msg, err := c.readProverMsg()
+	h, err := c.QueryAsync(kind, params, v)
 	if err != nil {
-		return st, err
+		return core.Stats{}, err
 	}
-	st.Rounds++
-	st.WordsToVerifier += msg.Words()
-	challenge, done, err := v.Begin(msg)
-	for !done {
-		if err != nil {
-			break
-		}
-		st.WordsToProver += challenge.Words()
-		if err = writeFrame(c.conn, frameChallenge, encodeMsg(challenge)); err != nil {
-			return st, err
-		}
-		msg, err = c.readProverMsg()
-		if err != nil {
-			return st, err
-		}
-		st.Rounds++
-		st.WordsToVerifier += msg.Words()
-		challenge, done, err = v.Step(msg)
-	}
-	if ferr := writeFrame(c.conn, frameFinish, nil); ferr != nil && err == nil {
-		err = ferr
-	}
-	return st, err
-}
-
-func (c *Client) readProverMsg() (core.Msg, error) {
-	typ, payload, err := readFrame(c.conn)
-	if err != nil {
-		return core.Msg{}, err
-	}
-	switch typ {
-	case frameProver:
-		return decodeMsg(payload)
-	case frameBudget:
-		return core.Msg{}, fmt.Errorf("%w: %s", ErrBudget, payload)
-	case frameError:
-		return core.Msg{}, fmt.Errorf("wire: server error: %s", payload)
-	default:
-		return core.Msg{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
-	}
+	return h.Wait()
 }

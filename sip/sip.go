@@ -65,6 +65,14 @@
 // An Engine names datasets so many connections (see internal/wire's v2
 // protocol, cmd/sipserver and cmd/sipclient) share them.
 //
+// Over the wire, conversations are multiplexed: each query runs on its
+// own channel of the connection in its own server goroutine against its
+// own snapshot (wire.Client.QueryAsync, or plain Query from many
+// goroutines), so one slow proof never serializes the cheap ones and
+// ingestion keeps flowing between conversation frames —
+// examples/concurrentqueries and sipclient -concurrency demonstrate
+// the regime, and transcripts stay bit-identical to serial runs.
+//
 // # Durability and memory governance
 //
 // The prover carries the O(u) state in this protocol family, so a
