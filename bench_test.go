@@ -19,9 +19,11 @@ import (
 	"testing"
 
 	"repro/internal/ccm"
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/field"
+	"repro/internal/gkr"
 	"repro/internal/gkrbench"
 	"repro/internal/harness"
 	"repro/internal/hashtree"
@@ -457,6 +459,80 @@ func BenchmarkAblationGKRvsNative(b *testing.B) {
 	}
 }
 
+// BenchmarkGKRProverWorkers: one full CIRCUIT conversation from an
+// engine snapshot, serial vs all-cores worker pool. Transcripts are
+// bit-identical for every worker count (pinned by the package tests);
+// only the timing moves. The verifier's stream observation runs outside
+// the timer — only prover construction and the conversation are timed.
+func BenchmarkGKRProverWorkers(b *testing.B) {
+	const logu = 12
+	u := uint64(1) << logu
+	ups := stream.UniformDeltas(u, int64(4*u), field.NewSplitMix64(31))
+	for _, spec := range []circuit.Spec{
+		{Name: circuit.FamilyF2},
+		{Name: circuit.FamilyMatMul, Arg: 64},
+	} {
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			ds, err := engine.NewDataset(f61, u, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ds.Ingest(ups); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/workers=%d", spec.Name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					vs, err := gkr.NewVerifierFor(f61, spec, u, field.NewSplitMix64(32))
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, up := range ups {
+						if err := vs.Observe(up); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					p, err := ds.Snapshot().NewProver(engine.QueryCircuit, engine.QueryParams{Circuit: spec.Name, A: spec.Arg})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := core.Run(p, vs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGKRSetupSnapshotVsReplay: the engine dividend for the GKR
+// workload — prover construction plus full conversation with the input
+// replayed per query vs borrowed from the maintained counts.
+func BenchmarkGKRSetupSnapshotVsReplay(b *testing.B) {
+	const logu = 12
+	u := uint64(1) << logu
+	for _, source := range []string{"replay", "snapshot"} {
+		b.Run(fmt.Sprintf("MATMUL/%s/logu=%d", source, logu), func(b *testing.B) {
+			var setup, prove float64
+			for i := 0; i < b.N; i++ {
+				replay, snapshot, err := gkrbench.CompareSetup(f61, u, int(8*u), -1, circuit.Spec{Name: circuit.FamilyMatMul, Arg: 64}, 17)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run := replay
+				if source == "snapshot" {
+					run = snapshot
+				}
+				setup += run.Setup.Seconds()
+				prove += run.Prove.Seconds()
+			}
+			b.ReportMetric(setup/float64(b.N)*1e9, "setup-ns")
+			b.ReportMetric(prove/float64(b.N)*1e9, "prove-ns")
+		})
+	}
+}
+
 // ---------------------------------------------------------------------
 // Ablation (§3.1 footnote 1): branching factor ℓ vs rounds/communication.
 
@@ -564,6 +640,7 @@ func BenchmarkProverSetupReplay(b *testing.B) {
 	}{
 		{"F2", wire.QuerySelfJoinSize, wire.QueryParams{}},
 		{"RangeQuery", wire.QueryRangeQuery, wire.QueryParams{A: 10, B: 1000}},
+		{"CircuitF2", wire.QueryCircuit, wire.QueryParams{Circuit: circuit.FamilyF2}},
 	} {
 		b.Run(fmt.Sprintf("%s/logu=%d", kind.name, logu), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -594,6 +671,7 @@ func BenchmarkProverSetupSnapshot(b *testing.B) {
 	}{
 		{"F2", engine.QuerySelfJoinSize, engine.QueryParams{}},
 		{"RangeQuery", engine.QueryRangeQuery, engine.QueryParams{A: 10, B: 1000}},
+		{"CircuitF2", engine.QueryCircuit, engine.QueryParams{Circuit: circuit.FamilyF2}},
 	} {
 		b.Run(fmt.Sprintf("%s/logu=%d", kind.name, logu), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

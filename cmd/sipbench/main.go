@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/gkrbench"
@@ -72,7 +73,7 @@ func main() {
 	run("fig3b", func(f field.Field) error { return fig3(f, *maxLogU, *span, *seed, *workers, false) })
 	run("tamper", func(f field.Field) error { return tamper(f, *seed) })
 	run("branching", func(f field.Field) error { return branching(f, *seed) })
-	run("gkr", func(f field.Field) error { return gkr(f, *seed) })
+	run("gkr", func(f field.Field) error { return gkr(f, *seed, *workers) })
 	run("freq", func(f field.Field) error { return freq(f, *seed, *workers) })
 	run("ipv6", func(f field.Field) error { return ipv6(f, *seed, *workers) })
 	run("mux", func(f field.Field) error { return mux(f, *seed) })
@@ -287,8 +288,9 @@ func branching(f field.Field, seed uint64) error {
 }
 
 // gkr: §3 remark — the specialized F2 protocol vs the Theorem-3 (GKR)
-// circuit protocol.
-func gkr(f field.Field, seed uint64) error {
+// circuit protocol — plus the engine dividend (snapshot-built provers vs
+// stream replay) and the parallel prover (serial vs -workers).
+func gkr(f field.Field, seed uint64, workers int) error {
 	fmt.Println("GKR ablation (§3 remark): native F2 vs Muggles circuit protocol")
 	fmt.Printf("%8s %12s | %14s %14s | %14s %14s\n",
 		"u", "protocol", "comm-words", "rounds", "prove-time", "check-time")
@@ -301,6 +303,46 @@ func gkr(f field.Field, seed uint64) error {
 			uint64(1)<<lg, "native", native.CommWords, native.Rounds, native.ProveTime, native.CheckTime)
 		fmt.Printf("%8d %12s | %14d %14d | %14s %14s\n",
 			uint64(1)<<lg, "gkr", gkrRow.CommWords, gkrRow.Rounds, gkrRow.ProveTime, gkrRow.CheckTime)
+	}
+
+	specs := []circuit.Spec{
+		{Name: circuit.FamilyF2},
+		{Name: circuit.FamilyCount},
+		{Name: circuit.FamilyMatMul, Arg: 64},
+	}
+
+	fmt.Println("\nEngine-backed GKR: prover setup from maintained counts vs stream replay")
+	fmt.Println("(u = 2^12, n = 8u updates; ingest is untimed — the engine maintains it anyway)")
+	fmt.Printf("%8s %10s | %14s %14s | %14s %10s\n",
+		"family", "source", "setup", "prove", "comm-words", "speedup")
+	const lg = 12
+	u := uint64(1) << lg
+	for _, spec := range specs {
+		replay, snapshot, err := gkrbench.CompareSetup(f, u, int(8*u), workers, spec, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8s %10s | %14s %14s | %14d %10s\n",
+			spec.Name, replay.Source, replay.Setup, replay.Prove, replay.CommWords, "")
+		fmt.Printf("%8s %10s | %14s %14s | %14d %9.2fx\n",
+			spec.Name, snapshot.Source, snapshot.Setup, snapshot.Prove, snapshot.CommWords,
+			float64(replay.Setup)/float64(snapshot.Setup))
+	}
+
+	fmt.Println("\nParallel GKR prover: serial vs worker pool (transcripts bit-identical)")
+	fmt.Printf("%8s | %14s %14s %10s\n", "family", "serial", fmt.Sprintf("workers=%d", workers), "speedup")
+	for _, spec := range specs {
+		_, serialRun, err := gkrbench.CompareSetup(f, u, int(8*u), 1, spec, seed)
+		if err != nil {
+			return err
+		}
+		_, parRun, err := gkrbench.CompareSetup(f, u, int(8*u), workers, spec, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8s | %14s %14s %9.2fx\n", spec.Name,
+			serialRun.Prove.Round(time.Microsecond), parRun.Prove.Round(time.Microsecond),
+			float64(serialRun.Prove)/float64(parRun.Prove))
 	}
 	return nil
 }

@@ -17,6 +17,11 @@
 // (wire.Client.QueryAsync), so a slow proof never blocks the others —
 // the paper's many-cheap-conversations regime over a single socket.
 //
+// -circuit NAME adds a CIRCUIT conversation to every round: the GKR
+// protocol over the named circuit family (F2, COUNT, MATMUL; see
+// -circuit-arg) runs on the same multiplexed connection against the
+// same maintained dataset — no extra upload, no server-side replay.
+//
 // Point it at a server started with -cheat-drop to watch every v1 query
 // get rejected.
 package main
@@ -32,8 +37,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/field"
+	"repro/internal/gkr"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -46,16 +53,23 @@ func main() {
 	dataset := flag.String("dataset", "", "named shared dataset (empty = private v1 connection)")
 	queries := flag.Int("queries", 1, "how many times to run the query battery (with -dataset)")
 	concurrency := flag.Int("concurrency", 1, "query rounds overlapped on the one connection (multiplexed conversations)")
+	circuitName := flag.String("circuit", "", fmt.Sprintf("add a CIRCUIT (GKR) conversation per round; families: %v", circuit.Families()))
+	circuitArg := flag.Uint64("circuit-arg", 0, "circuit family argument (MATMUL: matrix dimension n, 0 = default)")
 	flag.Parse()
 	if *concurrency < 1 {
 		*concurrency = 1
 	}
-	// Each round holds three conversations at once; a server caps
-	// in-flight conversations per connection (sipserver -max-queries,
-	// default wire.DefaultMaxConcurrentQueries) and refuses the excess.
-	if 3**concurrency > wire.DefaultMaxConcurrentQueries {
+	// Each round holds three conversations at once (four with -circuit);
+	// a server caps in-flight conversations per connection (sipserver
+	// -max-queries, default wire.DefaultMaxConcurrentQueries) and refuses
+	// the excess.
+	convsPerRound := 3
+	if *circuitName != "" {
+		convsPerRound = 4
+	}
+	if convsPerRound**concurrency > wire.DefaultMaxConcurrentQueries {
 		log.Printf("warning: -concurrency %d holds up to %d conversations; a default server caps them at %d per connection and refuses the rest (REFUSED lines, not failures)",
-			*concurrency, 3**concurrency, wire.DefaultMaxConcurrentQueries)
+			*concurrency, convsPerRound**concurrency, wire.DefaultMaxConcurrentQueries)
 	}
 
 	f := field.Mersenne()
@@ -94,6 +108,10 @@ func main() {
 	f2vs := make([]*core.FkVerifier, rounds)
 	rqvs := make([]*core.SubVectorVerifier, rounds)
 	hhvs := make([]*core.HeavyHittersVerifier, rounds)
+	var gkvs []*gkr.VerifierSession
+	if *circuitName != "" {
+		gkvs = make([]*gkr.VerifierSession, rounds)
+	}
 	for r := 0; r < rounds; r++ {
 		f2proto, err := core.NewSelfJoinSize(f, u)
 		check(err)
@@ -104,6 +122,11 @@ func main() {
 		hhproto, err := core.NewHeavyHitters(f, u)
 		check(err)
 		hhvs[r] = hhproto.NewVerifier(rng)
+		if gkvs != nil {
+			vs, err := gkr.NewVerifierFor(f, circuit.Spec{Name: *circuitName, Arg: *circuitArg}, u, rng)
+			check(err)
+			gkvs[r] = vs
+		}
 	}
 
 	// The F2 summary is a plain LDE evaluation, so the whole batch can be
@@ -115,6 +138,9 @@ func main() {
 		for r := 0; r < rounds; r++ {
 			check(rqvs[r].Observe(up))
 			check(hhvs[r].Observe(up))
+			if gkvs != nil {
+				check(gkvs[r].Observe(up))
+			}
 		}
 	}
 
@@ -179,6 +205,14 @@ func main() {
 			fail("HEAVY HITTERS", err)
 			return lines
 		}
+		var gkh *wire.QueryHandle
+		if gkvs != nil {
+			gkh, err = client.QueryAsync(wire.QueryCircuit, wire.QueryParams{Circuit: *circuitName, A: *circuitArg}, gkvs[r])
+			if err != nil {
+				fail(fmt.Sprintf("CIRCUIT %s", *circuitName), err)
+				return lines
+			}
+		}
 
 		stats, err := f2h.Wait()
 		lines = append(lines, report("SELF-JOIN SIZE (F2)", stats, err))
@@ -205,6 +239,17 @@ func main() {
 				fail("HEAVY HITTERS result", rerr)
 			} else {
 				lines = append(lines, fmt.Sprintf("  %d heavy hitters verified complete", len(hhRes)))
+			}
+		}
+		if gkh != nil {
+			stats, err = gkh.Wait()
+			lines = append(lines, report(fmt.Sprintf("CIRCUIT %s (GKR)", *circuitName), stats, err))
+			if err == nil {
+				if outs, rerr := gkvs[r].Outputs(); rerr != nil {
+					fail("CIRCUIT result", rerr)
+				} else {
+					lines = append(lines, fmt.Sprintf("  %d circuit outputs verified", len(outs)))
+				}
 			}
 		}
 		lines = append(lines, fmt.Sprintf("round wall time: %v", time.Since(t0).Round(time.Millisecond)))

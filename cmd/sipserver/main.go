@@ -14,7 +14,9 @@
 // Clients either keep a private per-connection dataset (the v1 flow) or
 // open named datasets shared across connections (sipclient -dataset):
 // many owners can ingest into and query one dataset concurrently, and
-// the Nth query costs no stream replay.
+// the Nth query costs no stream replay. That includes CIRCUIT queries
+// (sipclient -circuit): GKR provers over named circuit families build
+// straight from the maintained counts, parallelized by -workers.
 //
 // With -data-dir set, named datasets are durable: dirty datasets
 // checkpoint in the background every -checkpoint-interval (crash loss is

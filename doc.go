@@ -4,7 +4,11 @@
 //
 // The public API lives in repro/sip; the experiment harness behind every
 // figure of the paper's §5 is exercised by the benchmarks in
-// bench_test.go and by cmd/sipbench. See README.md for a tour, DESIGN.md
-// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
-// comparison.
+// bench_test.go and by cmd/sipbench. Beyond the paper's fixed query
+// menu, the engine serves CIRCUIT queries — the general Theorem-3
+// GKR/"Muggles" protocol over a registry of named layered-circuit
+// families (F2, COUNT, MATMUL) — engine-backed, parallelized, and
+// multiplexed on the wire like any other query kind. See README.md for
+// a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// the paper-vs-measured comparison.
 package repro

@@ -1,0 +1,246 @@
+package circuit
+
+// Circuit family registry: named, parameterized circuit families built
+// over a dataset's dense counts, so a GKR workload can be selected by
+// name + argument on the wire instead of constructed ad hoc in tests.
+//
+// Every family is instantiated against a universe size u and follows the
+// engine's padding convention (ℓ=2 LDE): the input vector is the dense
+// element table padded to the next power of two. A family may read fewer
+// entries than the table holds (MATMUL with a small dimension reads the
+// first n² entries); updates beyond the circuit's input are simply not
+// part of the statement being proved.
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/field"
+)
+
+// Spec selects a circuit family by name plus one integer argument whose
+// meaning is family-specific (MATMUL: the matrix dimension n; F2 and
+// COUNT take no argument). The zero Arg always selects a sensible
+// default, so a Spec travels in a query frame as (name, uint64).
+type Spec struct {
+	Name string
+	Arg  uint64
+}
+
+// The registered family names.
+const (
+	// FamilyF2 computes F2 = Σ_i a_i² via the squaring-plus-sum-tree
+	// circuit — the Theorem-3 cross-check against the native §3 protocol.
+	FamilyF2 = "F2"
+	// FamilyCount computes Σ_i a_i via a binary aggregation tree.
+	FamilyCount = "COUNT"
+	// FamilyMatMul computes C = A·A for the n×n matrix stored row-major
+	// in the first n² input entries; the n² outputs are C row-major.
+	FamilyMatMul = "MATMUL"
+)
+
+// ErrUnknownFamily is returned (wrapped) when a Spec names no registered
+// family; the wire layer surfaces it to clients as a typed refusal.
+var ErrUnknownFamily = errors.New("circuit: unknown circuit family")
+
+// maxMatMulDim bounds the MATMUL dimension: n=128 already means n³ ≈ 2M
+// product gates, the practical ceiling for an interactive demo prover.
+const maxMatMulDim = 128
+
+var families = map[string]func(spec Spec, u uint64) (*Circuit, Wiring, error){
+	FamilyF2:     buildF2,
+	FamilyCount:  buildCount,
+	FamilyMatMul: buildMatMul,
+}
+
+// Families returns the registered family names, sorted.
+func Families() []string {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildSpec instantiates a named family over universe u, returning the
+// circuit together with its closed-form wiring predicate evaluator.
+func BuildSpec(spec Spec, u uint64) (*Circuit, Wiring, error) {
+	build, ok := families[spec.Name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w %q (have %v)", ErrUnknownFamily, spec.Name, Families())
+	}
+	return build(spec, u)
+}
+
+// PaddedVars returns d with 2^d the smallest power of two ≥ max(u, 2) —
+// the same padding the engine's ℓ=2 LDE applies to a universe.
+func PaddedVars(u uint64) (int, error) {
+	if u == 0 {
+		return 0, errors.New("circuit: empty universe")
+	}
+	if u > 1<<30 {
+		return 0, fmt.Errorf("circuit: universe %d too large for a circuit input", u)
+	}
+	d := bits.Len64(u - 1)
+	if d < 1 {
+		d = 1
+	}
+	return d, nil
+}
+
+func buildF2(spec Spec, u uint64) (*Circuit, Wiring, error) {
+	if spec.Arg != 0 {
+		return nil, nil, fmt.Errorf("circuit: %s takes no argument (got %d)", FamilyF2, spec.Arg)
+	}
+	d, err := PaddedVars(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := NewF2Circuit(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, F2Wiring{K: d}, nil
+}
+
+func buildCount(spec Spec, u uint64) (*Circuit, Wiring, error) {
+	if spec.Arg != 0 {
+		return nil, nil, fmt.Errorf("circuit: %s takes no argument (got %d)", FamilyCount, spec.Arg)
+	}
+	d, err := PaddedVars(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := NewCountCircuit(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, SumTreeWiring{}, nil
+}
+
+func buildMatMul(spec Spec, u uint64) (*Circuit, Wiring, error) {
+	n := spec.Arg
+	if n == 0 {
+		// Default: the smallest power-of-two dimension whose matrix covers
+		// the padded universe, so every dataset index is a matrix entry.
+		d, err := PaddedVars(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		n = 1 << ((d + 1) / 2)
+		if n < 2 {
+			n = 2
+		}
+		if n > maxMatMulDim {
+			return nil, nil, fmt.Errorf("circuit: universe %d needs matmul dimension %d > %d; pass an explicit Arg", u, n, maxMatMulDim)
+		}
+	}
+	if n > maxMatMulDim {
+		return nil, nil, fmt.Errorf("circuit: matmul dimension %d > %d", n, maxMatMulDim)
+	}
+	c, err := NewMatMulCircuit(int(n))
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, MatMulWiring{M: bits.Len64(n) - 1}, nil
+}
+
+// NewCountCircuit builds the binary aggregation tree computing Σ_i a_i
+// over 2^k inputs: k layers of add gates, gate o reading (2o, 2o+1).
+func NewCountCircuit(k int) (*Circuit, error) {
+	if k < 1 || k > 30 {
+		return nil, fmt.Errorf("circuit: COUNT exponent %d out of [1,30]", k)
+	}
+	c := &Circuit{InputSize: 1 << k}
+	for j := 0; j < k; j++ {
+		gates := make([]Gate, 1<<j)
+		for o := range gates {
+			gates[o] = Gate{Type: Add, In1: uint32(2 * o), In2: uint32(2*o + 1)}
+		}
+		c.Layers = append(c.Layers, Layer{Gates: gates})
+	}
+	return c, c.Validate()
+}
+
+// NewMatMulCircuit builds the circuit computing C = A·A for an n×n
+// matrix stored row-major in the n² inputs. The bottom layer holds the
+// n³ products A[i][k]·A[k][j] at gate index i·n² + j·n + k; above it,
+// log2(n) binary sum-tree layers aggregate over k, leaving C[i][j] at
+// output index i·n + j. Size n³ + n²(n-1) gates, depth log2(n) + 1.
+func NewMatMulCircuit(n int) (*Circuit, error) {
+	if n < 2 || n > maxMatMulDim || n&(n-1) != 0 {
+		return nil, fmt.Errorf("circuit: matmul dimension %d not a power of two in [2,%d]", n, maxMatMulDim)
+	}
+	m := bits.Len(uint(n)) - 1
+	c := &Circuit{InputSize: n * n}
+	// Sum-tree layers over the k dimension: layer j has n²·2^j add gates.
+	for j := 0; j < m; j++ {
+		gates := make([]Gate, n*n<<uint(j))
+		for o := range gates {
+			gates[o] = Gate{Type: Add, In1: uint32(2 * o), In2: uint32(2*o + 1)}
+		}
+		c.Layers = append(c.Layers, Layer{Gates: gates})
+	}
+	// Product layer: gate (i·n + j)·n + k = A[i][k]·A[k][j].
+	mult := make([]Gate, n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				mult[(i*n+j)*n+k] = Gate{Type: Mul, In1: uint32(i*n + k), In2: uint32(k*n + j)}
+			}
+		}
+	}
+	c.Layers = append(c.Layers, Layer{Gates: mult})
+	return c, c.Validate()
+}
+
+// SumTreeWiring is the closed form for any layer of a binary sum tree
+// whose gate o reads (2o, 2o+1) — the sum layers of F2, every layer of
+// COUNT, and the aggregation layers of MATMUL. O(log S) per evaluation:
+//
+//	add̃(z,x,y) = (1-x₀)·y₀·Π_t eq3(z_t, x_{t+1}, y_{t+1})
+type SumTreeWiring struct{}
+
+// Eval returns the sum-tree predicates; mult̃ is identically zero.
+func (SumTreeWiring) Eval(f field.Field, layer int, z, x, y []field.Elem) (add, mul field.Elem) {
+	add = f.Mul(f.Sub(1, x[0]), y[0])
+	for t := range z {
+		add = f.Mul(add, eq3(f, z[t], x[t+1], y[t+1]))
+	}
+	return add, 0
+}
+
+// eq2 returns ab + (1-a)(1-b), the two-way bit equality extension.
+func eq2(f field.Field, a, b field.Elem) field.Elem {
+	one := field.Elem(1)
+	return f.Add(f.Mul(a, b), f.Mul(f.Sub(one, a), f.Sub(one, b)))
+}
+
+// MatMulWiring is the closed form for NewMatMulCircuit(2^M): O(log S)
+// per evaluation, keeping the GKR verifier's per-layer work logarithmic.
+// Layers 0..M-1 are sum-tree layers; the product layer factorizes over
+// the (k, j, i) bit groups of the gate index i·n² + j·n + k, whose wires
+// read i·n + k and k·n + j:
+//
+//	mult̃(z,x,y) = Π_t eq3(z_t, x_t, y_{M+t}) · eq2(z_{M+t}, y_t) · eq2(z_{2M+t}, x_{M+t})
+type MatMulWiring struct {
+	M int // log2 of the matrix dimension
+}
+
+// Eval returns the predicates of the MATMUL circuit.
+func (w MatMulWiring) Eval(f field.Field, layer int, z, x, y []field.Elem) (add, mul field.Elem) {
+	if layer < w.M {
+		return SumTreeWiring{}.Eval(f, layer, z, x, y)
+	}
+	m := w.M
+	mul = 1
+	for t := 0; t < m; t++ {
+		mul = f.Mul(mul, eq3(f, z[t], x[t], y[m+t]))
+		mul = f.Mul(mul, eq2(f, z[m+t], y[t]))
+		mul = f.Mul(mul, eq2(f, z[2*m+t], x[m+t]))
+	}
+	return 0, mul
+}

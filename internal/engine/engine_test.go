@@ -6,9 +6,11 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/field"
+	"repro/internal/gkr"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -153,6 +155,12 @@ func newVerifier(f field.Field, u uint64, kind engine.QueryKind, p engine.QueryP
 		}
 		v := proto.NewVerifier(rng)
 		return v, v.Observe, nil
+	case engine.QueryCircuit:
+		vs, err := gkr.NewVerifierFor(f, circuit.Spec{Name: p.Circuit, Arg: p.A}, u, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		return vs, vs.Observe, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown kind %d", kind)
 	}

@@ -3,7 +3,9 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/gkr"
 )
 
 // QueryKind enumerates the queries a dataset answers. It is defined here
@@ -25,13 +27,18 @@ const (
 	QueryHeavyHitters
 	QueryF0
 	QueryFmax
+	// QueryCircuit runs the GKR protocol for a named circuit family from
+	// internal/circuit's registry over the dataset's dense counts; the
+	// family name travels in QueryParams.Circuit, its argument in A.
+	QueryCircuit
 )
 
 // QueryParams carries the per-kind parameters; unused fields are zero.
 type QueryParams struct {
-	A, B uint64  // range bounds / point / key
-	K    int64   // moment order or k-largest rank
-	Phi  float64 // heavy-hitter fraction
+	A, B    uint64  // range bounds / point / key / circuit argument
+	K       int64   // moment order or k-largest rank
+	Phi     float64 // heavy-hitter fraction
+	Circuit string  // circuit family name (QueryCircuit only)
 }
 
 // NewProver constructs the prover session for one query over the
@@ -157,7 +164,24 @@ func (s *Snapshot) NewProver(kind QueryKind, params QueryParams) (core.ProverSes
 		}
 		proto.SetWorkers(workers)
 		return proto.NewProverFromCounts(s.st.counts, s.st.total)
+	case QueryCircuit:
+		return s.NewGKRProver(circuit.Spec{Name: params.Circuit, Arg: params.A})
 	default:
 		return nil, fmt.Errorf("engine: unknown query kind %d", kind)
 	}
+}
+
+// NewGKRProver builds the GKR prover session for a named circuit family
+// directly from the snapshot's maintained element table — zero stream
+// replay, exactly like NewProver for the fixed query kinds. The circuit
+// reads the table's first InputSize entries (padded with zeros if the
+// family's input outgrows the padded universe), so the transcript is
+// bit-identical to a prover built by replaying the original stream, for
+// every worker count and across evict→rehydrate cycles.
+func (s *Snapshot) NewGKRProver(spec circuit.Spec) (core.ProverSession, error) {
+	proto, err := gkr.NewProtocolFor(s.ds.f, spec, s.ds.origU, s.ds.workers)
+	if err != nil {
+		return nil, err
+	}
+	return proto.NewProverSession(proto.PadInput(s.st.elems))
 }

@@ -49,6 +49,11 @@ type Protocol struct {
 	F      field.Field
 	C      *circuit.Circuit
 	Wiring circuit.Wiring
+
+	// Workers sets the prover-side fork–join width (parallel.Workers
+	// semantics: 0 serial, <0 NumCPU). Transcripts are bit-identical for
+	// every value — the same invariant the fixed query kinds enforce.
+	Workers int
 }
 
 // New validates the circuit and returns the protocol. A nil wiring

@@ -6,7 +6,13 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/field"
+	"repro/internal/parallel"
 )
+
+// gkrGrain is the minimum per-goroutine chunk for the per-gate loops.
+// One gate costs ~10 field operations in SumcheckMsg (vs ~1 for the
+// kernels parallel.MinGrain is calibrated for), so a smaller floor pays.
+const gkrGrain = 1 << 9
 
 // Prover is the honest GKR prover. It evaluates the circuit once, then
 // answers each layer's sum-check with the standard per-gate bookkeeping:
@@ -35,7 +41,7 @@ type Prover struct {
 
 // NewProver evaluates the circuit on the given input vector.
 func (p *Protocol) NewProver(input []field.Elem) (*Prover, error) {
-	values, err := p.C.Evaluate(p.F, input)
+	values, err := p.C.EvaluateWorkers(p.F, input, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -62,11 +68,8 @@ func (pr *Prover) StartLayer(layer int, z []field.Elem) error {
 	pr.z = append([]field.Elem(nil), z...)
 	pr.k = pr.proto.C.VarCount(layer + 1)
 	pr.round = 0
-	eqTable := expandEq(pr.proto.F, z)
-	pr.eqZ = make([]field.Elem, len(gates))
-	for g := range gates {
-		pr.eqZ[g] = eqTable[g]
-	}
+	// The χ̃ table has exactly 2^len(z) = len(gates) entries.
+	pr.eqZ = expandEq(pr.proto.F, z, pr.proto.Workers)
 	pr.pX = ones(len(gates))
 	pr.pY = nil
 	pr.wX = nil
@@ -77,15 +80,23 @@ func (pr *Prover) StartLayer(layer int, z []field.Elem) error {
 }
 
 // expandEq builds the table χ̃_o(z) for all o ∈ {0,1}^len(z),
-// least-significant variable first.
-func expandEq(f field.Field, z []field.Elem) []field.Elem {
+// least-significant variable first. Each doubling writes two disjoint
+// slots per source entry, so the rounds parallelize without reordering
+// any arithmetic.
+func expandEq(f field.Field, z []field.Elem, workers int) []field.Elem {
+	nw := parallel.Workers(workers)
 	table := []field.Elem{1}
 	for t, zt := range z {
-		next := make([]field.Elem, 2*len(table))
-		for o, e := range table {
-			next[o] = f.Mul(e, f.Sub(1, zt))
-			next[o|(1<<uint(t))] = f.Mul(e, zt)
-		}
+		half := len(table)
+		next := make([]field.Elem, 2*half)
+		parallel.ForGrain(nw, half, gkrGrain, func(_, lo, hi int) {
+			oneMinus := f.Sub(1, zt)
+			for o := lo; o < hi; o++ {
+				e := table[o]
+				next[o] = f.Mul(e, oneMinus)
+				next[o|(1<<uint(t))] = f.Mul(e, zt)
+			}
+		})
 		table = next
 	}
 	return table
@@ -110,7 +121,6 @@ func (pr *Prover) SumcheckMsg() ([]field.Elem, error) {
 	f := pr.proto.F
 	gates := pr.proto.C.Layers[pr.layer].Gates
 	below := pr.values[pr.layer+1]
-	out := make([]field.Elem, 3)
 	inX := pr.round < pr.k
 	var t int
 	var folded []field.Elem
@@ -121,48 +131,67 @@ func (pr *Prover) SumcheckMsg() ([]field.Elem, error) {
 		t = pr.round - pr.k
 		folded = pr.bY
 	}
-	for ci := 0; ci < 3; ci++ {
-		c := f.Reduce(uint64(ci))
-		oneMinusC := f.Sub(1, c)
-		var sum field.Elem
-		for g, gate := range gates {
+	var cs [3]field.Elem
+	for ci := range cs {
+		cs[ci] = f.Reduce(uint64(ci))
+	}
+	// One pass over the gates, three evaluation points per gate; chunks
+	// accumulate partial sums combined in chunk order, so the totals are
+	// bit-identical for every worker count (field addition is exact).
+	nw := parallel.Workers(pr.proto.Workers)
+	partials := make([][3]field.Elem, parallel.ChunksGrain(nw, len(gates), gkrGrain))
+	parallel.ForGrain(nw, len(gates), gkrGrain, func(chunk, lo, hi int) {
+		var acc [3]field.Elem
+		for g := lo; g < hi; g++ {
+			gate := gates[g]
 			var wire uint32
+			var weight field.Elem
 			if inX {
 				wire = gate.In1
+				weight = f.Mul(pr.eqZ[g], pr.pX[g])
 			} else {
 				wire = gate.In2
+				weight = f.Mul(pr.wX[g], pr.pY[g])
 			}
 			bit := (wire >> uint(t)) & 1
-			var chiC field.Elem
-			if bit == 0 {
-				chiC = oneMinusC
-			} else {
-				chiC = c
-			}
 			// Ṽ at (bound, c, wire suffix): two adjacent folded entries.
 			suffix := wire >> uint(t)
 			i0 := suffix &^ 1
 			a, b := folded[i0], folded[i0|1]
-			vPartial := f.Add(a, f.Mul(c, f.Sub(b, a)))
-			var opVal field.Elem
-			if inX {
-				vy := below[gate.In2]
-				if gate.Type == circuit.Add {
-					opVal = f.Add(vPartial, vy)
+			d := f.Sub(b, a)
+			for ci, c := range cs {
+				var chiC field.Elem
+				if bit == 0 {
+					chiC = f.Sub(1, c)
 				} else {
-					opVal = f.Mul(vPartial, vy)
+					chiC = c
 				}
-				sum = f.Add(sum, f.Mul(f.Mul(pr.eqZ[g], pr.pX[g]), f.Mul(chiC, opVal)))
-			} else {
-				if gate.Type == circuit.Add {
-					opVal = f.Add(pr.vxStar, vPartial)
+				vPartial := f.Add(a, f.Mul(c, d))
+				var opVal field.Elem
+				if inX {
+					vy := below[gate.In2]
+					if gate.Type == circuit.Add {
+						opVal = f.Add(vPartial, vy)
+					} else {
+						opVal = f.Mul(vPartial, vy)
+					}
 				} else {
-					opVal = f.Mul(pr.vxStar, vPartial)
+					if gate.Type == circuit.Add {
+						opVal = f.Add(pr.vxStar, vPartial)
+					} else {
+						opVal = f.Mul(pr.vxStar, vPartial)
+					}
 				}
-				sum = f.Add(sum, f.Mul(f.Mul(pr.wX[g], pr.pY[g]), f.Mul(chiC, opVal)))
+				acc[ci] = f.Add(acc[ci], f.Mul(weight, f.Mul(chiC, opVal)))
 			}
 		}
-		out[ci] = sum
+		partials[chunk] = acc
+	})
+	out := make([]field.Elem, 3)
+	for _, p := range partials {
+		for ci := range out {
+			out[ci] = f.Add(out[ci], p[ci])
+		}
 	}
 	return out, nil
 }
@@ -181,49 +210,57 @@ func (pr *Prover) Bind(r field.Elem) error {
 	} else {
 		t = pr.round - pr.k
 	}
+	nw := parallel.Workers(pr.proto.Workers)
 	oneMinusR := f.Sub(1, r)
-	for g, gate := range gates {
-		var wire uint32
-		if inX {
-			wire = gate.In1
-		} else {
-			wire = gate.In2
+	parallel.ForGrain(nw, len(gates), gkrGrain, func(_, lo, hi int) {
+		for g := lo; g < hi; g++ {
+			var wire uint32
+			if inX {
+				wire = gates[g].In1
+			} else {
+				wire = gates[g].In2
+			}
+			factor := r
+			if (wire>>uint(t))&1 == 0 {
+				factor = oneMinusR
+			}
+			if inX {
+				pr.pX[g] = f.Mul(pr.pX[g], factor)
+			} else {
+				pr.pY[g] = f.Mul(pr.pY[g], factor)
+			}
 		}
-		factor := r
-		if (wire>>uint(t))&1 == 0 {
-			factor = oneMinusR
-		}
-		if inX {
-			pr.pX[g] = f.Mul(pr.pX[g], factor)
-		} else {
-			pr.pY[g] = f.Mul(pr.pY[g], factor)
-		}
-	}
+	})
 	if inX {
-		pr.bX = foldOnce(f, pr.bX, r)
+		pr.bX = pr.foldOnce(pr.bX, r)
 	} else {
-		pr.bY = foldOnce(f, pr.bY, r)
+		pr.bY = pr.foldOnce(pr.bY, r)
 	}
 	pr.round++
 	if pr.round == pr.k {
 		// x phase complete: freeze the per-gate x weights and Ṽ(x*).
 		pr.vxStar = pr.bX[0]
 		pr.wX = make([]field.Elem, len(gates))
-		for g := range gates {
-			pr.wX[g] = f.Mul(pr.eqZ[g], pr.pX[g])
-		}
+		parallel.ForGrain(nw, len(gates), gkrGrain, func(_, lo, hi int) {
+			for g := lo; g < hi; g++ {
+				pr.wX[g] = f.Mul(pr.eqZ[g], pr.pX[g])
+			}
+		})
 		pr.pY = ones(len(gates))
 		pr.bY = append([]field.Elem(nil), pr.values[pr.layer+1]...)
 	}
 	return nil
 }
 
-func foldOnce(f field.Field, table []field.Elem, r field.Elem) []field.Elem {
+// foldOnce binds one variable of the table to r with the FoldPairs batch
+// kernel; chunks write disjoint destination ranges.
+func (pr *Prover) foldOnce(table []field.Elem, r field.Elem) []field.Elem {
+	f := pr.proto.F
+	nw := parallel.Workers(pr.proto.Workers)
 	next := make([]field.Elem, len(table)/2)
-	for w := range next {
-		a, b := table[2*w], table[2*w+1]
-		next[w] = f.Add(a, f.Mul(r, f.Sub(b, a)))
-	}
+	parallel.ForGrain(nw, len(next), gkrGrain, func(_, lo, hi int) {
+		f.FoldPairs(next[lo:hi], table[2*lo:2*hi], r)
+	})
 	return next
 }
 
@@ -236,16 +273,40 @@ func (pr *Prover) LinePoly(xStar, yStar []field.Elem) ([]field.Elem, error) {
 		return nil, errors.New("gkr: sum-check not finished")
 	}
 	f := pr.proto.F
+	table := pr.values[pr.layer+1]
 	out := make([]field.Elem, pr.k+1)
 	point := make([]field.Elem, pr.k)
+	// Scratch ping-pong buffers shared across the k+1 evaluations; each
+	// fold reads one buffer and writes the other, so the chunked FoldPairs
+	// calls never overlap.
+	bufA := make([]field.Elem, len(table))
+	bufB := make([]field.Elem, len(table)/2)
 	for ti := 0; ti <= pr.k; ti++ {
 		t := f.Reduce(uint64(ti))
 		for j := 0; j < pr.k; j++ {
 			point[j] = f.Add(xStar[j], f.Mul(t, f.Sub(yStar[j], xStar[j])))
 		}
-		out[ti] = foldAt(f, pr.values[pr.layer+1], point)
+		out[ti] = pr.foldAt(table, point, bufA, bufB)
 	}
 	return out, nil
+}
+
+// foldAt evaluates the multilinear extension of table at point, folding
+// one variable per round with the parallel FoldPairs kernel. src and dst
+// must each hold len(table) and len(table)/2 elements of scratch.
+func (pr *Prover) foldAt(table, point, src, dst []field.Elem) field.Elem {
+	f := pr.proto.F
+	nw := parallel.Workers(pr.proto.Workers)
+	cur := src[:len(table)]
+	copy(cur, table)
+	for _, r := range point {
+		next := dst[:len(cur)/2]
+		parallel.ForGrain(nw, len(next), gkrGrain, func(_, lo, hi int) {
+			f.FoldPairs(next[lo:hi], cur[2*lo:2*hi], r)
+		})
+		cur, dst = next, cur
+	}
+	return cur[0]
 }
 
 // FinishLayer closes the completed layer. (The next layer's point

@@ -1,7 +1,15 @@
-// Package gkrbench measures the ablation called out in §3's Remarks: the
-// specialized (log u, log u) F2 protocol against the general Theorem-3
-// construction (GKR over the F2 circuit), which costs (log² u, log² u).
-// Both run on the same stream with the same field.
+// Package gkrbench measures two things about the general Theorem-3
+// construction (GKR over layered circuits):
+//
+//   - the ablation called out in §3's Remarks: the specialized
+//     (log u, log u) F2 protocol against GKR over the F2 circuit, which
+//     costs (log² u, log² u); and
+//   - the engine dividend: building a GKR prover from a dataset's
+//     maintained counts (Snapshot.NewProver, zero replay) against
+//     rebuilding it from the raw update stream (wire.BuildProver).
+//
+// All comparisons run on the same stream with the same field, and every
+// conversation must be accepted by the client-side verifier.
 package gkrbench
 
 import (
@@ -9,9 +17,11 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/gkr"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // Row is one protocol's cost on the shared workload.
@@ -24,9 +34,37 @@ type Row struct {
 	Accepted  bool
 }
 
+// CircuitRun is one timed end-to-end GKR conversation: Setup is prover
+// construction (snapshot borrow or stream replay), Prove the full
+// conversation, prover and verifier combined.
+type CircuitRun struct {
+	Source    string
+	Setup     time.Duration
+	Prove     time.Duration
+	CommWords int
+	Rounds    int
+}
+
+// newCircuitVerifier builds a GKR verifier session that has observed
+// the whole stream.
+func newCircuitVerifier(f field.Field, spec circuit.Spec, u uint64, ups []stream.Update, seed uint64) (*gkr.VerifierSession, error) {
+	vs, err := gkr.NewVerifierFor(f, spec, u, field.NewSplitMix64(seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, up := range ups {
+		if err := vs.Observe(up); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+
 // CompareF2 runs the native F2 protocol and the GKR circuit protocol on
 // the same uniform stream over a universe of size u (a power of two) and
-// returns both cost rows. Both must accept and agree on the answer.
+// returns both cost rows. Both must accept and agree on the answer. The
+// GKR prover is engine-backed: it borrows the dataset's maintained
+// element table exactly as a server answering a CIRCUIT query would.
 func CompareF2(f field.Field, u uint64, seed uint64) (native, gkrRow Row, err error) {
 	gen := field.NewSplitMix64(seed)
 	ups := stream.UniformDeltas(u, 100, gen)
@@ -64,40 +102,28 @@ func CompareF2(f field.Field, u uint64, seed uint64) (native, gkrRow Row, err er
 		Accepted:  true,
 	}
 
-	// GKR over the F2 circuit with closed-form wiring.
-	k := 0
-	for uint64(1)<<k < u {
-		k++
-	}
-	c, err := circuit.NewF2Circuit(k)
+	// GKR over the F2 circuit, prover built from engine-maintained state.
+	spec := circuit.Spec{Name: circuit.FamilyF2}
+	ds, err := engine.NewDataset(f, u, 1)
 	if err != nil {
 		return native, gkrRow, err
 	}
-	gproto, err := gkr.New(f, c, circuit.F2Wiring{K: k})
+	if err := ds.Ingest(ups); err != nil {
+		return native, gkrRow, err
+	}
+	gv, err := newCircuitVerifier(f, spec, u, ups, seed+2)
 	if err != nil {
 		return native, gkrRow, err
 	}
-	gv, err := gproto.NewVerifier(field.NewSplitMix64(seed + 2))
-	if err != nil {
-		return native, gkrRow, err
-	}
-	input := make([]field.Elem, u)
-	for _, up := range ups {
-		if err := gv.Observe(up.Index, up.Delta); err != nil {
-			return native, gkrRow, err
-		}
-		input[up.Index] = f.Add(input[up.Index], f.FromInt64(up.Delta))
-	}
-	gp, err := gproto.NewProver(input)
+	gp, err := ds.Snapshot().NewProver(engine.QueryCircuit, engine.QueryParams{Circuit: spec.Name, A: spec.Arg})
 	if err != nil {
 		return native, gkrRow, err
 	}
 	t1 := time.Now()
-	gstats, err := gkr.Run(gp, gv)
-	gkrTime := time.Since(t1)
-	if err != nil {
+	if _, err := core.Run(gp, gv); err != nil {
 		return native, gkrRow, err
 	}
+	gkrTime := time.Since(t1)
 	gkrResult, err := gv.Output()
 	if err != nil {
 		return native, gkrRow, err
@@ -105,6 +131,7 @@ func CompareF2(f field.Field, u uint64, seed uint64) (native, gkrRow Row, err er
 	if gkrResult != nativeResult {
 		return native, gkrRow, errAnswerMismatch(nativeResult, gkrResult)
 	}
+	gstats := gv.Stats()
 	gkrRow = Row{
 		Protocol:  "gkr",
 		CommWords: gstats.CommWords,
@@ -113,6 +140,56 @@ func CompareF2(f field.Field, u uint64, seed uint64) (native, gkrRow Row, err er
 		Accepted:  true,
 	}
 	return native, gkrRow, nil
+}
+
+// CompareSetup times a full CIRCUIT conversation for the same family
+// and stream built two ways: replaying the n raw updates into a fresh
+// prover (the pre-engine path, wire.BuildProver) against borrowing an
+// already-ingested dataset's counts (Snapshot.NewProver). The ingest
+// itself is untimed — the engine maintains that state for every query
+// kind regardless. Both conversations must accept.
+func CompareSetup(f field.Field, u uint64, n, workers int, spec circuit.Spec, seed uint64) (replay, snapshot CircuitRun, err error) {
+	ups := stream.UniformDeltas(u, int64(n), field.NewSplitMix64(seed))
+	params := engine.QueryParams{Circuit: spec.Name, A: spec.Arg}
+
+	ds, err := engine.NewDataset(f, u, workers)
+	if err != nil {
+		return replay, snapshot, err
+	}
+	if err := ds.Ingest(ups); err != nil {
+		return replay, snapshot, err
+	}
+
+	run := func(source string, build func() (core.ProverSession, error)) (CircuitRun, error) {
+		vs, err := newCircuitVerifier(f, spec, u, ups, seed+1)
+		if err != nil {
+			return CircuitRun{}, err
+		}
+		t0 := time.Now()
+		p, err := build()
+		setup := time.Since(t0)
+		if err != nil {
+			return CircuitRun{}, err
+		}
+		t1 := time.Now()
+		if _, err := core.Run(p, vs); err != nil {
+			return CircuitRun{}, err
+		}
+		prove := time.Since(t1)
+		st := vs.Stats()
+		return CircuitRun{Source: source, Setup: setup, Prove: prove, CommWords: st.CommWords, Rounds: st.Rounds}, nil
+	}
+
+	replay, err = run("replay", func() (core.ProverSession, error) {
+		return wire.BuildProver(f, u, wire.QueryCircuit, params, ups, workers)
+	})
+	if err != nil {
+		return replay, snapshot, err
+	}
+	snapshot, err = run("snapshot", func() (core.ProverSession, error) {
+		return ds.Snapshot().NewProver(engine.QueryCircuit, params)
+	})
+	return replay, snapshot, err
 }
 
 type answerMismatch struct{ a, b field.Elem }

@@ -3,6 +3,7 @@ package gkrbench
 import (
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/field"
 )
 
@@ -29,5 +30,29 @@ func TestCompareF2(t *testing.T) {
 			t.Fatalf("u=2^%d: comm ratio %.2f did not grow (prev %.2f)", logu, ratio, prevRatio)
 		}
 		prevRatio = ratio
+	}
+}
+
+// TestCompareSetup checks the engine-dividend harness: both construction
+// paths accept, agree on cost, and the snapshot path reports a
+// measurable (non-negative) setup. The actual speedup is a benchmark
+// claim, not a unit-test assertion.
+func TestCompareSetup(t *testing.T) {
+	f := field.Mersenne()
+	for _, spec := range []circuit.Spec{
+		{Name: circuit.FamilyF2},
+		{Name: circuit.FamilyCount},
+		{Name: circuit.FamilyMatMul, Arg: 8},
+	} {
+		replay, snapshot, err := CompareSetup(f, 64, 200, 0, spec, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if replay.CommWords != snapshot.CommWords || replay.Rounds != snapshot.Rounds {
+			t.Fatalf("%s: cost rows differ: %+v vs %+v", spec.Name, replay, snapshot)
+		}
+		if replay.Source != "replay" || snapshot.Source != "snapshot" {
+			t.Fatalf("%s: sources mislabeled: %q, %q", spec.Name, replay.Source, snapshot.Source)
+		}
 	}
 }

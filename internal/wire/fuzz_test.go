@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -96,6 +97,34 @@ func FuzzDecodeQuery(f *testing.F) {
 	})
 }
 
+// FuzzDecodeCircuitQuery targets the only variable-length query frame:
+// CIRCUIT frames with a trailing family name. Decode must never panic,
+// must refuse names past maxCircuitName and trailing bytes on fixed
+// kinds, and a successful decode must re-encode byte-identically.
+func FuzzDecodeCircuitQuery(f *testing.F) {
+	f.Add(encodeQuery(QueryCircuit, QueryParams{Circuit: "F2"}))
+	f.Add(encodeQuery(QueryCircuit, QueryParams{Circuit: "MATMUL", A: 16}))
+	f.Add(encodeQuery(QueryCircuit, QueryParams{Circuit: ""}))
+	f.Add(encodeQuery(QueryCircuit, QueryParams{Circuit: string(make([]byte, maxCircuitName))}))
+	f.Add(encodeQuery(QueryCircuit, QueryParams{Circuit: string(make([]byte, maxCircuitName+1))}))
+	f.Add(append(encodeQuery(QuerySelfJoinSize, QueryParams{}), 'X'))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		kind, params, err := decodeQuery(b)
+		if err != nil {
+			return
+		}
+		if kind == QueryCircuit && len(params.Circuit) > maxCircuitName {
+			t.Fatalf("decodeQuery accepted a %d-byte circuit name", len(params.Circuit))
+		}
+		if kind != QueryCircuit && params.Circuit != "" {
+			t.Fatalf("decodeQuery produced a circuit name for kind %d", kind)
+		}
+		if got := encodeQuery(kind, params); !bytes.Equal(got, b) {
+			t.Fatalf("re-encode of a valid query differs: %x vs %x", got, b)
+		}
+	})
+}
+
 func FuzzDecodeOpen(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(encodeOpen("d", 64))
@@ -169,6 +198,24 @@ func TestQueryPropertyRoundTrip(t *testing.T) {
 				t.Fatalf("roundtrip %v %+v = %v %+v", kind, p, gk, gp)
 			}
 		}
+	}
+	// CIRCUIT frames carry the only variable-length section.
+	names := []string{"", "F2", "COUNT", "MATMUL", strings.Repeat("y", maxCircuitName)}
+	for _, name := range names {
+		p := QueryParams{A: rng.Uint64(), Circuit: name}
+		gk, gp, err := decodeQuery(encodeQuery(QueryCircuit, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gk != QueryCircuit || gp != p {
+			t.Fatalf("circuit roundtrip %+v = %v %+v", p, gk, gp)
+		}
+	}
+	if _, _, err := decodeQuery(encodeQuery(QueryCircuit, QueryParams{Circuit: strings.Repeat("y", maxCircuitName+1)})); err == nil {
+		t.Error("oversize circuit name decoded")
+	}
+	if _, _, err := decodeQuery(append(encodeQuery(QueryIndex, QueryParams{A: 4}), 'Z')); err == nil {
+		t.Error("trailing bytes on a fixed-kind query decoded")
 	}
 }
 

@@ -339,6 +339,9 @@ type QueryHandle struct {
 // ingestion calls may interleave with them. The verifier session is
 // owned by the conversation goroutine until Wait returns.
 func (c *Client) QueryAsync(kind QueryKind, params QueryParams, v core.VerifierSession) (*QueryHandle, error) {
+	if kind == QueryCircuit && len(params.Circuit) > maxCircuitName {
+		return nil, fmt.Errorf("wire: circuit name of %d bytes exceeds %d", len(params.Circuit), maxCircuitName)
+	}
 	c.cmu.Lock()
 	switch {
 	case c.mode == modeUnset:

@@ -8,9 +8,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/field"
+	"repro/internal/gkr"
 	"repro/internal/stream"
 )
 
@@ -140,6 +142,10 @@ func muxVerifier(t *testing.T, u uint64, kind QueryKind, p QueryParams, seed uin
 		check(err)
 		v := proto.NewVerifier(rng)
 		return v, v.Observe
+	case QueryCircuit:
+		vs, err := gkr.NewVerifierFor(f61, circuit.Spec{Name: p.Circuit, Arg: p.A}, u, rng)
+		check(err)
+		return vs, vs.Observe
 	default:
 		t.Fatalf("unknown kind %d", kind)
 		return nil, nil

@@ -49,9 +49,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/field"
+	"repro/internal/gkr"
 	"repro/internal/stream"
 )
 
@@ -98,6 +100,7 @@ const (
 	QueryHeavyHitters = engine.QueryHeavyHitters
 	QueryF0           = engine.QueryF0
 	QueryFmax         = engine.QueryFmax
+	QueryCircuit      = engine.QueryCircuit
 )
 
 // QueryParams carries the per-kind parameters; unused fields are zero.
@@ -108,6 +111,10 @@ const maxFrame = 64 << 20
 
 // maxDatasetName bounds the name carried by an open frame.
 const maxDatasetName = 255
+
+// maxCircuitName bounds the circuit family name a CIRCUIT query frame
+// may carry; registry names are short, so anything longer is garbage.
+const maxCircuitName = 64
 
 // DefaultMaxUniverse is the universe-size cap applied when
 // Server.MaxUniverse is zero: 2^26 entries ≈ 1 GiB of maintained state
@@ -228,18 +235,27 @@ func decodeMsg(b []byte) (core.Msg, error) {
 	return m, nil
 }
 
+// encodeQuery lays out a query frame: the fixed numeric parameter block,
+// then — for CIRCUIT queries only — the circuit family name in UTF-8.
 func encodeQuery(kind QueryKind, p QueryParams) []byte {
-	out := make([]byte, 1+8*4)
+	n := 1 + 8*4
+	if kind == QueryCircuit {
+		n += len(p.Circuit)
+	}
+	out := make([]byte, 1+8*4, n)
 	out[0] = byte(kind)
 	binary.LittleEndian.PutUint64(out[1:], p.A)
 	binary.LittleEndian.PutUint64(out[9:], p.B)
 	binary.LittleEndian.PutUint64(out[17:], uint64(p.K))
 	binary.LittleEndian.PutUint64(out[25:], math.Float64bits(p.Phi))
+	if kind == QueryCircuit {
+		out = append(out, p.Circuit...)
+	}
 	return out
 }
 
 func decodeQuery(b []byte) (QueryKind, QueryParams, error) {
-	if len(b) != 1+8*4 {
+	if len(b) < 1+8*4 {
 		return 0, QueryParams{}, fmt.Errorf("%w: query frame %d bytes", ErrProtocol, len(b))
 	}
 	kind := QueryKind(b[0])
@@ -248,6 +264,17 @@ func decodeQuery(b []byte) (QueryKind, QueryParams, error) {
 		B:   binary.LittleEndian.Uint64(b[9:]),
 		K:   int64(binary.LittleEndian.Uint64(b[17:])),
 		Phi: math.Float64frombits(binary.LittleEndian.Uint64(b[25:])),
+	}
+	name := b[1+8*4:]
+	if kind == QueryCircuit {
+		if len(name) > maxCircuitName {
+			return 0, QueryParams{}, fmt.Errorf("%w: circuit name of %d bytes", ErrProtocol, len(name))
+		}
+		// An empty (or unknown) name is refused by the engine with a typed
+		// error, not by the codec: the frame itself is well-formed.
+		p.Circuit = string(name)
+	} else if len(name) != 0 {
+		return 0, QueryParams{}, fmt.Errorf("%w: query frame %d bytes", ErrProtocol, len(b))
 	}
 	return kind, p, nil
 }
@@ -945,6 +972,25 @@ func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, up
 		proto.SetWorkers(workers)
 		p := proto.NewProver()
 		return p, observe(p)
+	case QueryCircuit:
+		proto, err := gkr.NewProtocolFor(f, circuit.Spec{Name: params.Circuit, Arg: params.A}, u, workers)
+		if err != nil {
+			return nil, err
+		}
+		// The GKR prover takes a dense input vector, so "replay" means
+		// accumulating the stream into the circuit's input table; indices
+		// the circuit does not read are outside the statement (see
+		// gkr.VerifierSession.Observe).
+		input := make([]field.Elem, proto.C.InputSize)
+		for _, up := range ups {
+			if up.Index >= u {
+				return nil, fmt.Errorf("wire: index %d outside universe [0,%d)", up.Index, u)
+			}
+			if up.Index < uint64(len(input)) {
+				input[up.Index] = f.Add(input[up.Index], f.FromInt64(up.Delta))
+			}
+		}
+		return proto.NewProverSession(input)
 	default:
 		return nil, fmt.Errorf("wire: unknown query kind %d", kind)
 	}

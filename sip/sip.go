@@ -19,6 +19,9 @@
 //	PREDECESSOR, SUCCESSOR                      (§4)
 //	HEAVY HITTERS, k-LARGEST                    (§6.1)
 //	F0, inverse distribution, Fmax              (§6.2)
+//	CIRCUIT: GKR over layered arithmetic
+//	circuits — F2 cross-check, COUNT,
+//	MATMUL (verified matrix product)            (§3 Remarks, Thm. 3, App. A)
 //
 // Typical use:
 //
@@ -111,9 +114,11 @@
 package sip
 
 import (
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/field"
+	"repro/internal/gkr"
 	"repro/internal/stream"
 )
 
@@ -225,7 +230,50 @@ const (
 	QueryHeavyHitters = engine.QueryHeavyHitters
 	QueryF0           = engine.QueryF0
 	QueryFmax         = engine.QueryFmax
+	QueryCircuit      = engine.QueryCircuit
 )
+
+// ---------------------------------------------------------------------
+// GKR / circuit workload (Theorem 3, Appendix A)
+//
+// The CIRCUIT query runs the paper's general-purpose construction: any
+// layered arithmetic circuit over the dataset's frequency vector,
+// verified layer by layer with a streaming verifier that keeps O(log u)
+// words per layer. Circuits come from a registry of named families;
+// select one by name (and optional argument) in QueryParams.Circuit /
+// QueryParams.A — locally via Snapshot.NewProver, or over the wire where
+// the name travels in the query frame.
+
+// CircuitSpec names a circuit family and its argument (for MATMUL, the
+// matrix dimension n; 0 selects a default spanning the universe).
+type CircuitSpec = circuit.Spec
+
+// The built-in circuit families.
+const (
+	CircuitF2     = circuit.FamilyF2     // Σ a_i² via squaring + sum tree (cross-checks the native F2 protocol)
+	CircuitCount  = circuit.FamilyCount  // Σ a_i via a binary add tree
+	CircuitMatMul = circuit.FamilyMatMul // C = A·A for the n×n matrix read row-major from the vector
+)
+
+// CircuitFamilies lists the registered circuit family names, sorted.
+func CircuitFamilies() []string { return circuit.Families() }
+
+// ErrUnknownCircuit is returned (wrapped) when a CircuitSpec names no
+// registered family.
+var ErrUnknownCircuit = circuit.ErrUnknownFamily
+
+// CircuitVerifier is the verifier session for a CIRCUIT query: observe
+// the stream, then drive it against a prover with Run (or hand it to
+// the wire client). After acceptance, Outputs returns the verified
+// output vector of the circuit.
+type CircuitVerifier = gkr.VerifierSession
+
+// NewCircuitVerifier returns the streaming verifier for one circuit
+// family over [0, u). It keeps O(log² u) words and must observe the
+// same stream as the dataset it queries.
+func NewCircuitVerifier(f Field, spec CircuitSpec, u uint64, rng RNG) (*CircuitVerifier, error) {
+	return gkr.NewVerifierFor(f, spec, u, rng)
+}
 
 // NewEngine returns an empty dataset registry. workers is the prover
 // fan-out handed to every dataset (0 serial, -1 all cores). The engine
@@ -458,6 +506,38 @@ func VerifyHeavyHitters(f Field, u uint64, updates []Update, phi float64, rng RN
 	}
 	hh, _, err := v.Result()
 	return hh, stats, err
+}
+
+// VerifyCircuit streams updates into a dataset and a circuit verifier,
+// then verifies the named circuit's full output vector over the final
+// frequency vector (e.g. CircuitMatMul: every entry of C = A·A).
+func VerifyCircuit(f Field, u uint64, updates []Update, spec CircuitSpec, rng RNG) ([]Elem, Stats, error) {
+	v, err := NewCircuitVerifier(f, spec, u, rng)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	ds, err := NewDataset(f, u, 0)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	for _, up := range updates {
+		if err := v.Observe(up); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	if err := ds.Ingest(updates); err != nil {
+		return nil, Stats{}, err
+	}
+	p, err := ds.Snapshot().NewProver(QueryCircuit, QueryParams{Circuit: spec.Name, A: spec.Arg})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := Run(p, v)
+	if err != nil {
+		return nil, stats, err
+	}
+	outs, err := v.Outputs()
+	return outs, stats, err
 }
 
 // VerifyF0 streams updates and verifies the number of distinct items.
