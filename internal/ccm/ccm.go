@@ -163,18 +163,19 @@ func (pr *Prover) Observe(i uint64, delta int64) error {
 
 // Total returns the true F2 (the claimed answer implied by the proof).
 func (pr *Prover) Total() field.Elem {
-	f := pr.proto.F
-	var total field.Elem
-	for _, a := range pr.table {
-		total = f.Add(total, f.Mul(a, a))
-	}
-	return total
+	return pr.proto.F.DotSlices(pr.table, pr.table)
 }
+
+// proveTile is how many beyond-node evaluation points share one pass over
+// the frequency table in Prove. Each table row is read once per tile
+// instead of once per point, and a tile's χ rows (proveTile·ℓ words) stay
+// cache-resident across the pass.
+const proveTile = 8
 
 // Prove produces the single-message proof: the evaluations
 // g(0..2ℓ-2) with g(c) = Σ_{x₂} f_a(c, x₂)². Θ(u^{3/2}) field operations;
-// the 2ℓ-1 evaluation points are independent, so they fan out across
-// Protocol.Workers goroutines (each point is O(u) work, hence grain 1).
+// the evaluation points are independent, so tiles of them fan out across
+// Protocol.Workers goroutines (each tile is O(u·proveTile) work, grain 1).
 func (pr *Prover) Prove() []field.Elem {
 	f := pr.proto.F
 	ell := pr.proto.Ell
@@ -188,22 +189,33 @@ func (pr *Prover) Prove() []field.Elem {
 	proof := make([]field.Elem, 2*ell-1)
 	// The ℓ node points are direct reads — O(u) in one cache-friendly pass;
 	// only the ℓ-1 beyond-node points carry the Θ(u) DotSlices each, so the
-	// pool is reserved for them (uniform O(u) work per index, grain 1).
+	// pool is reserved for them. Points are processed in tiles that share
+	// one streaming pass over the table; per point the x₂ accumulation
+	// order is unchanged, so the proof is bit-identical to the untiled walk.
 	for x2 := 0; x2 < ell; x2++ {
 		row := pr.table[x2*ell : (x2+1)*ell]
 		for c, v := range row {
 			proof[c] = f.Add(proof[c], f.Mul(v, v))
 		}
 	}
-	parallel.ForGrain(parallel.Workers(pr.proto.Workers), ell-1, 1, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			chi := chis[i]
-			var sum field.Elem
-			for x2 := 0; x2 < ell; x2++ {
-				val := f.DotSlices(chi, pr.table[x2*ell:(x2+1)*ell])
-				sum = f.Add(sum, f.Mul(val, val))
+	npts := ell - 1
+	ntiles := (npts + proveTile - 1) / proveTile
+	parallel.ForGrain(parallel.Workers(pr.proto.Workers), ntiles, 1, func(_, lo, hi int) {
+		for tb := lo; tb < hi; tb++ {
+			i0 := tb * proveTile
+			i1 := i0 + proveTile
+			if i1 > npts {
+				i1 = npts
 			}
-			proof[ell+i] = sum
+			var sums [proveTile]field.Elem
+			for x2 := 0; x2 < ell; x2++ {
+				row := pr.table[x2*ell : (x2+1)*ell]
+				for i := i0; i < i1; i++ {
+					val := f.DotSlices(chis[i], row)
+					sums[i-i0] = f.Add(sums[i-i0], f.Mul(val, val))
+				}
+			}
+			copy(proof[ell+i0:ell+i1], sums[:i1-i0])
 		}
 	})
 	return proof

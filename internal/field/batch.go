@@ -8,11 +8,29 @@ import "math/bits"
 // LDE evaluation, the one-round prover); the remaining kernels round out
 // the slice-wise API so engine code added later shares one
 // implementation instead of re-deriving the dual Mersenne/generic paths.
-// Hoisting the modulus dispatch out of the per-element loop (one branch
-// per slice instead of one per multiply) makes these measurably faster
-// than element-wise calls. All kernels tolerate dst aliasing a source
-// slice and panic on length mismatches, mirroring the built-in copy
-// contract.
+//
+// No kernel executes a hardware divide: the Mersenne path folds bits and
+// the generic path uses the Field's precomputed reducer, with the modulus
+// dispatch hoisted out of the per-element loop (one branch per slice
+// instead of one per multiply). Generic loops work in the "shifted
+// domain": pre-shifting one multiplicand by sh (safe — x < p means
+// x<<sh < d fits a word) makes the 128-bit product arrive already
+// normalized for remNorm, so the per-element reduction is branch-free
+// multiply/add/cmov with a single final >>sh. Reductions are lazy where
+// the algebra allows: multiply-add kernels (AddScaledSlice, FoldPairs)
+// reduce the product+addend once, and the accumulating kernels (SumSlice,
+// DotSlices) add exactly in 128/192-bit registers and reduce once per
+// slice. All kernels tolerate dst aliasing a source slice and panic on
+// length mismatches, mirroring the built-in copy contract.
+
+// barrettReduce reduces an arbitrary 2-word value hi·2^64 + lo < p·2^64
+// with explicit reducer constants (see reduce128 for the method form).
+func barrettReduce(hi, lo uint64, sh uint, d, v uint64) uint64 {
+	sh &= 63
+	h := hi<<sh | lo>>((64-sh)&63)
+	l := lo << sh
+	return remNorm(h, l, d, v) >> sh
+}
 
 // AddSlices sets dst[i] = a[i] + b[i] for every i. All three slices must
 // have equal length.
@@ -42,7 +60,11 @@ func (f Field) SubSlices(dst, a, b []Elem) {
 	}
 }
 
-// MulSlices sets dst[i] = a[i]·b[i] for every i.
+// MulSlices sets dst[i] = a[i]·b[i] for every i. Both operands vary, so
+// the generic path is the pre-shifted reducer. The loop is deliberately
+// rolled: each element needs three dependent full-width multiplies, and
+// the out-of-order core overlaps iterations on its own — manual unrolling
+// only adds register pressure around the MULQ-pinned AX/DX pair.
 func (f Field) MulSlices(dst, a, b []Elem) {
 	checkLen(len(dst), len(a), len(b))
 	if f.p == Mersenne61 {
@@ -51,54 +73,38 @@ func (f Field) MulSlices(dst, a, b []Elem) {
 		}
 		return
 	}
-	p := f.p
+	sh, d, v := f.sh&63, f.d, f.v
 	for i := range dst {
-		hi, lo := bits.Mul64(uint64(a[i]), uint64(b[i]))
-		_, rem := bits.Div64(hi, lo, p)
-		dst[i] = Elem(rem)
+		hi, lo := bits.Mul64(uint64(a[i]), uint64(b[i])<<sh)
+		dst[i] = Elem(remNorm(hi, lo, d, v) >> sh)
 	}
 }
 
-// ScaleSlice sets dst[i] = c·a[i] for every i.
+// ScaleSlice sets dst[i] = c·a[i] for every i. The constant factor makes
+// this a Shoup multiplication on both moduli: one divide precomputes
+// ⌊c·2^64/p⌋, then every element is three multiplies and a cmov.
 func (f Field) ScaleSlice(dst, a []Elem, c Elem) {
 	checkLen2(len(dst), len(a))
 	if c == 1 {
 		copy(dst, a)
 		return
 	}
-	if f.p == Mersenne61 {
-		for i := range dst {
-			dst[i] = Elem(mul61(uint64(a[i]), uint64(c)))
-		}
-		return
-	}
 	p := f.p
+	cc, cp := uint64(c), f.shoup(c)
 	for i := range dst {
-		hi, lo := bits.Mul64(uint64(a[i]), uint64(c))
-		_, rem := bits.Div64(hi, lo, p)
-		dst[i] = Elem(rem)
+		dst[i] = Elem(shoupMul(uint64(a[i]), cc, cp, p))
 	}
 }
 
 // AddScaledSlice sets dst[i] = a[i] + c·b[i] for every i — the fused
-// accumulate step of LDE folds.
+// accumulate step of LDE folds. Shoup multiplication by the invariant c
+// plus one conditional subtract for the add.
 func (f Field) AddScaledSlice(dst, a, b []Elem, c Elem) {
 	checkLen(len(dst), len(a), len(b))
 	p := f.p
-	if f.p == Mersenne61 {
-		for i := range dst {
-			s := uint64(a[i]) + mul61(uint64(b[i]), uint64(c))
-			if s >= p {
-				s -= p
-			}
-			dst[i] = Elem(s)
-		}
-		return
-	}
+	cc, cp := uint64(c), f.shoup(c)
 	for i := range dst {
-		hi, lo := bits.Mul64(uint64(b[i]), uint64(c))
-		_, rem := bits.Div64(hi, lo, p)
-		s := uint64(a[i]) + rem
+		s := uint64(a[i]) + shoupMul(uint64(b[i]), cc, cp, p)
 		if s >= p {
 			s -= p
 		}
@@ -108,45 +114,36 @@ func (f Field) AddScaledSlice(dst, a, b []Elem, c Elem) {
 
 // FoldPairs sets dst[i] = src[2i] + r·(src[2i+1] − src[2i]) — binding one
 // ℓ=2 LDE variable to r across a whole table, the inner loop of both the
-// sum-check prover's Fold and dense evaluation. len(src) must be
-// 2·len(dst); dst may alias the front half of src.
+// sum-check prover's Fold and dense evaluation. The fold factor r is
+// invariant across the slice, so both moduli share one Shoup loop,
+// unrolled 4-wide with fully inlined pair bodies so four independent
+// multiplies stay in flight. len(src) must be 2·len(dst); dst may alias
+// the front half of src (group i writes index i only after reading
+// indices 2i and 2i+1 ≥ i, so the in-place fold never reads a clobbered
+// slot).
 func (f Field) FoldPairs(dst, src []Elem, r Elem) {
 	if len(src) != 2*len(dst) {
 		panic("field: FoldPairs length mismatch")
 	}
 	p := f.p
-	if f.p == Mersenne61 {
-		for i := range dst {
-			t0, t1 := src[2*i], src[2*i+1]
-			var diff uint64
-			if t1 >= t0 {
-				diff = uint64(t1 - t0)
-			} else {
-				diff = uint64(t1) + p - uint64(t0)
-			}
-			s := uint64(t0) + mul61(diff, uint64(r))
-			if s >= p {
-				s -= p
-			}
-			dst[i] = Elem(s)
-		}
-		return
+	rr, rp := uint64(r), f.shoup(r)
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		// Subslices of fixed length let the compiler drop per-element
+		// bounds checks; all loads precede the (possibly aliasing)
+		// stores in program order, preserving the in-place contract.
+		s, dd := src[2*i:2*i+8], dst[i:i+4]
+		n0 := foldPairShoup(uint64(s[0]), uint64(s[1]), rr, rp, p)
+		n1 := foldPairShoup(uint64(s[2]), uint64(s[3]), rr, rp, p)
+		n2 := foldPairShoup(uint64(s[4]), uint64(s[5]), rr, rp, p)
+		n3 := foldPairShoup(uint64(s[6]), uint64(s[7]), rr, rp, p)
+		dd[0] = Elem(n0)
+		dd[1] = Elem(n1)
+		dd[2] = Elem(n2)
+		dd[3] = Elem(n3)
 	}
-	for i := range dst {
-		t0, t1 := src[2*i], src[2*i+1]
-		var diff uint64
-		if t1 >= t0 {
-			diff = uint64(t1 - t0)
-		} else {
-			diff = uint64(t1) + p - uint64(t0)
-		}
-		hi, lo := bits.Mul64(diff, uint64(r))
-		_, rem := bits.Div64(hi, lo, p)
-		s := uint64(t0) + rem
-		if s >= p {
-			s -= p
-		}
-		dst[i] = Elem(s)
+	for ; i < len(dst); i++ {
+		dst[i] = Elem(foldPairShoup(uint64(src[2*i]), uint64(src[2*i+1]), rr, rp, p))
 	}
 }
 
@@ -154,51 +151,97 @@ func (f Field) FoldPairs(dst, src []Elem, r Elem) {
 func (f Field) ReduceSlice(dst []Elem, xs []uint64) {
 	checkLen2(len(dst), len(xs))
 	p := f.p
+	sh, d, v := f.sh, f.d, f.v
 	for i := range dst {
-		dst[i] = Elem(xs[i] % p)
+		x := xs[i]
+		if x >= p {
+			x = barrettReduce(0, x, sh, d, v)
+		}
+		dst[i] = Elem(x)
 	}
 }
 
 // FromInt64Slice sets dst[i] = xs[i] mod p (negatives wrapping) for every
-// i — how a batch of stream deltas enters the field.
+// i — how a batch of stream deltas enters the field. Deltas already in
+// [0, p) — every realistic stream — take the comparison-only fast path.
 func (f Field) FromInt64Slice(dst []Elem, xs []int64) {
 	checkLen2(len(dst), len(xs))
-	for i := range dst {
-		dst[i] = f.FromInt64(xs[i])
-	}
-}
-
-// SumSlice returns Σ_i xs[i] mod p.
-func (f Field) SumSlice(xs []Elem) Elem {
 	p := f.p
-	var acc uint64
-	for _, x := range xs {
-		acc += uint64(x)
-		if acc >= p {
-			acc -= p
+	for i := range dst {
+		x := xs[i]
+		if x >= 0 && uint64(x) < p {
+			dst[i] = Elem(x)
+		} else {
+			dst[i] = f.FromInt64(x)
 		}
 	}
-	return Elem(acc)
 }
 
-// DotSlices returns Σ_i a[i]·b[i] mod p.
+// SumSlice returns Σ_i xs[i] mod p. Elements are added exactly into two
+// 128-bit accumulators (the high words absorb carries only, so they can
+// never overflow) and reduced once at the end.
+func (f Field) SumSlice(xs []Elem) Elem {
+	var hi0, lo0, hi1, lo1 uint64
+	i := 0
+	for ; i+2 <= len(xs); i += 2 {
+		var c uint64
+		lo0, c = bits.Add64(lo0, uint64(xs[i]), 0)
+		hi0 += c
+		lo1, c = bits.Add64(lo1, uint64(xs[i+1]), 0)
+		hi1 += c
+	}
+	if i < len(xs) {
+		var c uint64
+		lo0, c = bits.Add64(lo0, uint64(xs[i]), 0)
+		hi0 += c
+	}
+	var c uint64
+	lo0, c = bits.Add64(lo0, lo1, 0)
+	hi0 += hi1 + c
+	return f.foldAcc(hi0, lo0)
+}
+
+// DotSlices returns Σ_i a[i]·b[i] mod p. Products are accumulated exactly
+// in two interleaved 192-bit accumulators (each product contributes at
+// most 2^124, so for any representable slice length the top word stays far
+// from overflow) and reduced once at the end — no per-element reduction on
+// either the Mersenne or the generic path.
 func (f Field) DotSlices(a, b []Elem) Elem {
 	checkLen2(len(a), len(b))
-	if f.p == Mersenne61 {
-		var acc uint64
-		for i := range a {
-			acc += mul61(uint64(a[i]), uint64(b[i]))
-			if acc >= Mersenne61 {
-				acc -= Mersenne61
-			}
-		}
-		return Elem(acc)
+	var h0, m0, l0, h1, m1, l1 uint64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa, bb := a[i:i+4], b[i:i+4]
+		var c uint64
+		ph, pl := bits.Mul64(uint64(aa[0]), uint64(bb[0]))
+		l0, c = bits.Add64(l0, pl, 0)
+		m0, c = bits.Add64(m0, ph, c)
+		h0 += c
+		ph, pl = bits.Mul64(uint64(aa[1]), uint64(bb[1]))
+		l1, c = bits.Add64(l1, pl, 0)
+		m1, c = bits.Add64(m1, ph, c)
+		h1 += c
+		ph, pl = bits.Mul64(uint64(aa[2]), uint64(bb[2]))
+		l0, c = bits.Add64(l0, pl, 0)
+		m0, c = bits.Add64(m0, ph, c)
+		h0 += c
+		ph, pl = bits.Mul64(uint64(aa[3]), uint64(bb[3]))
+		l1, c = bits.Add64(l1, pl, 0)
+		m1, c = bits.Add64(m1, ph, c)
+		h1 += c
 	}
-	var acc Elem
-	for i := range a {
-		acc = f.Add(acc, f.Mul(a[i], b[i]))
+	for ; i < len(a); i++ {
+		var c uint64
+		ph, pl := bits.Mul64(uint64(a[i]), uint64(b[i]))
+		l0, c = bits.Add64(l0, pl, 0)
+		m0, c = bits.Add64(m0, ph, c)
+		h0 += c
 	}
-	return acc
+	var c uint64
+	l0, c = bits.Add64(l0, l1, 0)
+	m0, c = bits.Add64(m0, m1, c)
+	h0 += h1 + c
+	return f.foldAcc3(h0, m0, l0)
 }
 
 func checkLen(a, b, c int) {

@@ -24,15 +24,17 @@ type Prover struct {
 	proto  *Protocol
 	values [][]field.Elem
 
-	// Per-layer sum-check state.
+	// Per-layer sum-check state. pX starts as the χ̃_o(z) table (the eqZ
+	// factor is folded in up front, saving one multiply per gate per
+	// round) and accumulates the bound-x χ factors; pY starts as the
+	// frozen x-phase weights and accumulates the bound-y factors, so the
+	// per-gate round weight is a single table read.
 	layer   int
 	z       []field.Elem
 	k       int
 	round   int
-	eqZ     []field.Elem // χ̃_o(z) per gate output index
-	pX      []field.Elem // per gate, product of bound-x χ factors
-	pY      []field.Elem
-	wX      []field.Elem // eqZ·pX frozen after the x phase
+	pX      []field.Elem // per gate, χ̃_o(z) · product of bound-x χ factors
+	pY      []field.Elem // per gate, frozen x weight · bound-y χ factors
 	bX      []field.Elem // Ṽ_{i+1} table folded by x challenges
 	bY      []field.Elem // Ṽ_{i+1} table folded by y challenges
 	vxStar  field.Elem   // Ṽ_{i+1}(x*)
@@ -64,15 +66,14 @@ func (pr *Prover) StartLayer(layer int, z []field.Elem) error {
 	if len(z) != pr.proto.C.VarCount(layer) {
 		return fmt.Errorf("gkr: z has %d coordinates, want %d", len(z), pr.proto.C.VarCount(layer))
 	}
-	gates := pr.proto.C.Layers[layer].Gates
 	pr.z = append([]field.Elem(nil), z...)
 	pr.k = pr.proto.C.VarCount(layer + 1)
 	pr.round = 0
-	// The χ̃ table has exactly 2^len(z) = len(gates) entries.
-	pr.eqZ = expandEq(pr.proto.F, z, pr.proto.Workers)
-	pr.pX = ones(len(gates))
+	// The χ̃ table has exactly 2^len(z) = len(gates) entries; it seeds the
+	// per-gate x weights directly (field multiplication is associative and
+	// exact, so folding it in here leaves every message value unchanged).
+	pr.pX = expandEq(pr.proto.F, z, pr.proto.Workers)
 	pr.pY = nil
-	pr.wX = nil
 	pr.bX = append([]field.Elem(nil), pr.values[layer+1]...)
 	pr.bY = nil
 	pr.started = true
@@ -102,14 +103,6 @@ func expandEq(f field.Field, z []field.Elem, workers int) []field.Elem {
 	return table
 }
 
-func ones(n int) []field.Elem {
-	out := make([]field.Elem, n)
-	for i := range out {
-		out[i] = 1
-	}
-	return out
-}
-
 // SumcheckMsg produces the current round's 3 evaluations g(0), g(1), g(2).
 func (pr *Prover) SumcheckMsg() ([]field.Elem, error) {
 	if !pr.started {
@@ -131,13 +124,14 @@ func (pr *Prover) SumcheckMsg() ([]field.Elem, error) {
 		t = pr.round - pr.k
 		folded = pr.bY
 	}
-	var cs [3]field.Elem
-	for ci := range cs {
-		cs[ci] = f.Reduce(uint64(ci))
-	}
-	// One pass over the gates, three evaluation points per gate; chunks
-	// accumulate partial sums combined in chunk order, so the totals are
-	// bit-identical for every worker count (field addition is exact).
+	// One pass over the gates; chunks accumulate partial sums combined in
+	// chunk order, so the totals are bit-identical for every worker count
+	// (field addition is exact). The χ factor of the round variable is an
+	// indicator at c = 0, 1 — a gate whose wire bit is 0 contributes only
+	// to g(0) and g(2) (where χ(2) = 1−2 = −1), a bit-1 gate only to g(1)
+	// and g(2) (χ(2) = 2) — and the c = 2 table value is 2b − a, so each
+	// gate costs two combiner evaluations and two weight multiplies
+	// instead of three of each plus the per-point χ products.
 	nw := parallel.Workers(pr.proto.Workers)
 	partials := make([][3]field.Elem, parallel.ChunksGrain(nw, len(gates), gkrGrain))
 	parallel.ForGrain(nw, len(gates), gkrGrain, func(chunk, lo, hi int) {
@@ -148,41 +142,43 @@ func (pr *Prover) SumcheckMsg() ([]field.Elem, error) {
 			var weight field.Elem
 			if inX {
 				wire = gate.In1
-				weight = f.Mul(pr.eqZ[g], pr.pX[g])
+				weight = pr.pX[g]
 			} else {
 				wire = gate.In2
-				weight = f.Mul(pr.wX[g], pr.pY[g])
+				weight = pr.pY[g]
 			}
-			bit := (wire >> uint(t)) & 1
 			// Ṽ at (bound, c, wire suffix): two adjacent folded entries.
 			suffix := wire >> uint(t)
 			i0 := suffix &^ 1
 			a, b := folded[i0], folded[i0|1]
-			d := f.Sub(b, a)
-			for ci, c := range cs {
-				var chiC field.Elem
-				if bit == 0 {
-					chiC = f.Sub(1, c)
+			v2 := f.Add(b, f.Sub(b, a))
+			v01 := a
+			if suffix&1 == 1 {
+				v01 = b
+			}
+			var o01, o2 field.Elem
+			if inX {
+				vy := below[gate.In2]
+				if gate.Type == circuit.Add {
+					o01, o2 = f.Add(v01, vy), f.Add(v2, vy)
 				} else {
-					chiC = c
+					o01, o2 = f.Mul(v01, vy), f.Mul(v2, vy)
 				}
-				vPartial := f.Add(a, f.Mul(c, d))
-				var opVal field.Elem
-				if inX {
-					vy := below[gate.In2]
-					if gate.Type == circuit.Add {
-						opVal = f.Add(vPartial, vy)
-					} else {
-						opVal = f.Mul(vPartial, vy)
-					}
+			} else {
+				if gate.Type == circuit.Add {
+					o01, o2 = f.Add(pr.vxStar, v01), f.Add(pr.vxStar, v2)
 				} else {
-					if gate.Type == circuit.Add {
-						opVal = f.Add(pr.vxStar, vPartial)
-					} else {
-						opVal = f.Mul(pr.vxStar, vPartial)
-					}
+					o01, o2 = f.Mul(pr.vxStar, v01), f.Mul(pr.vxStar, v2)
 				}
-				acc[ci] = f.Add(acc[ci], f.Mul(weight, f.Mul(chiC, opVal)))
+			}
+			t01 := f.Mul(weight, o01)
+			t2 := f.Mul(weight, o2)
+			if suffix&1 == 0 {
+				acc[0] = f.Add(acc[0], t01)
+				acc[2] = f.Sub(acc[2], t2)
+			} else {
+				acc[1] = f.Add(acc[1], t01)
+				acc[2] = f.Add(acc[2], f.Add(t2, t2))
 			}
 		}
 		partials[chunk] = acc
@@ -238,15 +234,10 @@ func (pr *Prover) Bind(r field.Elem) error {
 	}
 	pr.round++
 	if pr.round == pr.k {
-		// x phase complete: freeze the per-gate x weights and Ṽ(x*).
+		// x phase complete: the per-gate x weights are frozen as the seed
+		// of the y-phase products, and Ṽ(x*) is the fully folded table.
 		pr.vxStar = pr.bX[0]
-		pr.wX = make([]field.Elem, len(gates))
-		parallel.ForGrain(nw, len(gates), gkrGrain, func(_, lo, hi int) {
-			for g := lo; g < hi; g++ {
-				pr.wX[g] = f.Mul(pr.eqZ[g], pr.pX[g])
-			}
-		})
-		pr.pY = ones(len(gates))
+		pr.pY = append([]field.Elem(nil), pr.pX...)
 		pr.bY = append([]field.Elem(nil), pr.values[pr.layer+1]...)
 	}
 	return nil

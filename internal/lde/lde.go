@@ -150,18 +150,45 @@ func chiInto(f field.Field, weights []field.Elem, x field.Elem, out, scratch []f
 }
 
 // ChiTables is the batched χ-table builder: it evaluates the full basis at
-// every point of xs in one call, sharing one backing allocation and one
-// scratch buffer across the batch. ChiTables(f, w, xs)[i][k] = χ_k(xs[i]).
-// Both the evaluation-point tables of NewPoint and the per-evaluation-node
-// tables of the sum-check prover are built this way.
+// every point of xs in one call, sharing one backing allocation, the node
+// values k = 0..ℓ-1 as field elements, and the difference/prefix scratch
+// buffers across the whole batch — per point the build is 3ℓ multiplies
+// and ℓ subtractions with no Reduce calls. ChiTables(f, w, xs)[i][k] =
+// χ_k(xs[i]). Both the evaluation-point tables of NewPoint and the
+// per-evaluation-node tables of the sum-check prover are built this way.
 func ChiTables(f field.Field, weights []field.Elem, xs []field.Elem) [][]field.Elem {
 	ell := len(weights)
 	backing := make([]field.Elem, len(xs)*ell)
+	nodes := make([]field.Elem, ell)
+	for k := range nodes {
+		nodes[k] = f.Reduce(uint64(k))
+	}
+	diffs := make([]field.Elem, ell)
 	scratch := make([]field.Elem, ell)
 	out := make([][]field.Elem, len(xs))
 	for i, x := range xs {
 		row := backing[i*ell : (i+1)*ell : (i+1)*ell]
-		chiInto(f, weights, x, row, scratch)
+		if uint64(x) < uint64(ell) {
+			// χ at a node is an indicator.
+			for k := range row {
+				row[k] = 0
+			}
+			row[x] = 1
+		} else {
+			for k := range diffs {
+				diffs[k] = f.Sub(x, nodes[k])
+			}
+			acc := field.Elem(1)
+			for k := 0; k < ell; k++ {
+				scratch[k] = acc
+				acc = f.Mul(acc, diffs[k])
+			}
+			suffix := field.Elem(1)
+			for k := ell - 1; k >= 0; k-- {
+				row[k] = f.Mul(weights[k], f.Mul(scratch[k], suffix))
+				suffix = f.Mul(suffix, diffs[k])
+			}
+		}
 		out[i] = row
 	}
 	return out
@@ -305,37 +332,84 @@ func EvalDenseWorkers(pt *Point, table []field.Elem, workers int) (field.Elem, e
 		return 0, fmt.Errorf("lde: table has %d entries, want %d", len(table), params.U)
 	}
 	nw := parallel.Workers(workers)
-	cur := append([]field.Elem(nil), table...)
 	ell := params.Ell
 	f := pt.F
+	if ell == 2 {
+		return evalDenseBlocked(pt, table, nw), nil
+	}
+	cur := append([]field.Elem(nil), table...)
 	scratch := make([]field.Elem, len(cur)/ell)
 	for j := 0; j < params.D; j++ {
 		size := len(cur) / ell
 		next := scratch[:size]
-		if ell == 2 {
-			// χ_0(r)=1−r, χ_1(r)=r: fold as t0 + r·(t1−t0).
-			r := pt.R[j]
-			parallel.For(nw, size, func(_, lo, hi int) {
-				f.FoldPairs(next[lo:hi], cur[2*lo:2*hi], r)
-			})
-		} else {
-			chi := pt.Chi[j]
-			// Each index costs ℓ field ops; scale the grain so large-ℓ
-			// decompositions with few indices still fan out.
-			grain := parallel.MinGrain / ell
-			if grain < 1 {
-				grain = 1
-			}
-			parallel.ForGrain(nw, size, grain, func(_, lo, hi int) {
-				for w := lo; w < hi; w++ {
-					next[w] = f.DotSlices(chi, cur[w*ell:(w+1)*ell])
-				}
-			})
+		chi := pt.Chi[j]
+		// Each index costs ℓ field ops; scale the grain so large-ℓ
+		// decompositions with few indices still fan out.
+		grain := parallel.MinGrain / ell
+		if grain < 1 {
+			grain = 1
 		}
+		parallel.ForGrain(nw, size, grain, func(_, lo, hi int) {
+			for w := lo; w < hi; w++ {
+				next[w] = f.DotSlices(chi, cur[w*ell:(w+1)*ell])
+			}
+		})
 		// Ping-pong the buffers; cur always has capacity ≥ size/ell.
 		cur, scratch = next, cur
 	}
 	return cur[0], nil
+}
+
+// evalDenseLg is the log2 of the cache block used by the ℓ=2 dense
+// evaluator: 2^12 elements = 32 KiB, sized to stay resident in L1d while
+// a block is folded all the way down.
+const evalDenseLg = 12
+
+// evalDenseBlocked is the ℓ=2 dense evaluator. Rather than streaming the
+// whole table through memory once per dimension (d passes), it folds up
+// to evalDenseLg dimensions per pass: each 2^b-element block collapses to
+// a single element entirely in cache, so the full table is read from
+// memory only ⌈d/b⌉ times. Every output element is the same expression
+// the one-dimension-at-a-time fold computes (FoldPairs over the same
+// pairs with the same challenges, merely scheduled block-first), so the
+// result is bit-identical for every worker count and block size.
+func evalDenseBlocked(pt *Point, table []field.Elem, nw int) field.Elem {
+	f := pt.F
+	cur := table // read-only view; first pass writes to a fresh slice
+	j := 0
+	for j < pt.Params.D {
+		b := pt.Params.D - j
+		if b > evalDenseLg {
+			b = evalDenseLg
+		}
+		size := len(cur) >> uint(b)
+		next := make([]field.Elem, size)
+		rs := pt.R[j : j+b]
+		// One output element costs 2^b fold ops; scale the grain down so
+		// the pass still fans out when few blocks remain.
+		grain := parallel.MinGrain >> uint(b)
+		if grain < 1 {
+			grain = 1
+		}
+		parallel.ForGrain(nw, size, grain, func(_, lo, hi int) {
+			buf := make([]field.Elem, 1<<uint(b-1))
+			for g := lo; g < hi; g++ {
+				blk := cur[g<<uint(b) : (g+1)<<uint(b)]
+				half := len(blk) / 2
+				f.FoldPairs(buf[:half], blk, rs[0])
+				for _, r := range rs[1:] {
+					half /= 2
+					// In-place: dst aliases the front half of src, which
+					// FoldPairs supports.
+					f.FoldPairs(buf[:half], buf[:2*half], r)
+				}
+				next[g] = buf[0]
+			}
+		})
+		cur = next
+		j += b
+	}
+	return cur[0]
 }
 
 // EvalRangeIndicator computes f_b(r) where b is the indicator vector of

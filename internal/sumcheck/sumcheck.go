@@ -181,6 +181,38 @@ type Prover struct {
 	cElems  []field.Elem   // cElems[c] = c as a field element
 	weights []field.Elem   // Lagrange basis weights for arbitrary-point folds
 	round   int
+	// pending holds the next round's message when the previous Fold ran a
+	// fused fold+message kernel (see fuseKind); RoundMessage hands it out
+	// and clears it. The fused kernels compute exactly the sums the plain
+	// path would, so the transcript is unchanged.
+	pending []field.Elem
+}
+
+// Fused-kernel dispatch: for the ℓ=2 protocols whose combiner the kernel
+// layer knows — C(v)=v² (SELF-JOIN SIZE / F2) and C(v,w)=v·w (INNER
+// PRODUCT) — the prover's dominant table walks collapse into single-pass
+// field kernels: Fold computes the next message while the folded values
+// are still in registers, and round 0 / Total use the pair-walk and lazy
+// dot kernels. Every other combiner takes the generic path.
+const (
+	fuseNone = iota
+	fuseSq   // Power{K:2}: message (Σ e0², Σ e1², Σ e2²)
+	fuseProd // Product: message (Σ eA0·eB0, Σ eA1·eB1, Σ eA2·eB2)
+)
+
+func (p *Prover) fuseKind() int {
+	if p.cfg.Params.Ell != 2 {
+		return fuseNone
+	}
+	switch c := p.cfg.Combiner.(type) {
+	case Power:
+		if c.K == 2 {
+			return fuseSq
+		}
+	case Product:
+		return fuseProd
+	}
+	return fuseNone
 }
 
 // NewProver builds a prover over explicit tables, one per combiner slot,
@@ -218,8 +250,18 @@ func NewProver(cfg Config, tables ...[]field.Elem) (*Prover, error) {
 }
 
 // Total returns the true value of the sum — the answer the prover claims.
+// The square and product combiners reduce to a lazy-accumulating dot
+// product; other combiners walk the tables through Apply.
 func (p *Prover) Total() field.Elem {
 	f := p.cfg.Field
+	switch c := p.cfg.Combiner.(type) {
+	case Power:
+		if c.K == 2 {
+			return p.parallelDot(p.tables[0], p.tables[0])
+		}
+	case Product:
+		return p.parallelDot(p.tables[0], p.tables[1])
+	}
 	n := len(p.tables[0])
 	partials := make([]field.Elem, parallel.Chunks(p.workers, n))
 	parallel.For(p.workers, n, func(chunk, lo, hi int) {
@@ -236,11 +278,30 @@ func (p *Prover) Total() field.Elem {
 	return f.SumSlice(partials)
 }
 
+// parallelDot computes Σ_i a[i]·b[i] across the worker pool; per-chunk
+// partials are exact 192-bit sums, so the result matches the serial walk.
+func (p *Prover) parallelDot(a, b []field.Elem) field.Elem {
+	f := p.cfg.Field
+	partials := make([]field.Elem, parallel.Chunks(p.workers, len(a)))
+	parallel.For(p.workers, len(a), func(chunk, lo, hi int) {
+		partials[chunk] = f.DotSlices(a[lo:hi], b[lo:hi])
+	})
+	return f.SumSlice(partials)
+}
+
 // RoundMessage computes the evaluations g_j(0..deg) for the current round.
 // It must be called exactly once per round, alternating with Fold.
 func (p *Prover) RoundMessage() ([]field.Elem, error) {
 	if p.round >= p.cfg.Params.D {
 		return nil, fmt.Errorf("sumcheck: all %d rounds already played", p.cfg.Params.D)
+	}
+	if p.pending != nil {
+		msg := p.pending
+		p.pending = nil
+		return msg, nil
+	}
+	if kind := p.fuseKind(); kind != fuseNone {
+		return p.messageFused(kind), nil
 	}
 	f := p.cfg.Field
 	ell := p.cfg.Params.Ell
@@ -287,11 +348,81 @@ func (p *Prover) RoundMessage() ([]field.Elem, error) {
 	return out, nil
 }
 
+// messageFused computes the current round message with the pair-walk
+// kernels (no pending fold to exploit — round 0, or a Fold that could not
+// fuse). Pairs split across workers; per-chunk partials are exact sums.
+func (p *Prover) messageFused(kind int) []field.Elem {
+	f := p.cfg.Field
+	npairs := len(p.tables[0]) / 2
+	partials := make([][3]field.Elem, parallel.Chunks(p.workers, npairs))
+	parallel.For(p.workers, npairs, func(chunk, lo, hi int) {
+		var g0, g1, g2 field.Elem
+		if kind == fuseSq {
+			g0, g1, g2 = f.PairsSumSq(p.tables[0][2*lo : 2*hi])
+		} else {
+			g0, g1, g2 = f.PairsSumProd(p.tables[0][2*lo:2*hi], p.tables[1][2*lo:2*hi])
+		}
+		partials[chunk] = [3]field.Elem{g0, g1, g2}
+	})
+	out := make([]field.Elem, 3)
+	for _, pt := range partials {
+		out[0] = f.Add(out[0], pt[0])
+		out[1] = f.Add(out[1], pt[1])
+		out[2] = f.Add(out[2], pt[2])
+	}
+	return out
+}
+
+// foldFused folds every table by r and computes the next round's message
+// in the same pass, leaving it in p.pending. Chunking is in units of
+// next-table pairs so kernel boundaries always align.
+func (p *Prover) foldFused(kind int, r field.Elem) {
+	f := p.cfg.Field
+	size := len(p.tables[0]) / 2
+	npairs := size / 2
+	partials := make([][3]field.Elem, parallel.Chunks(p.workers, npairs))
+	if kind == fuseSq {
+		tab := p.tables[0]
+		next := make([]field.Elem, size)
+		parallel.For(p.workers, npairs, func(chunk, lo, hi int) {
+			g0, g1, g2 := f.FoldPairsSumSq(next[2*lo:2*hi], tab[4*lo:4*hi], r)
+			partials[chunk] = [3]field.Elem{g0, g1, g2}
+		})
+		p.tables[0] = next
+	} else {
+		tabA, tabB := p.tables[0], p.tables[1]
+		nextA := make([]field.Elem, size)
+		nextB := make([]field.Elem, size)
+		parallel.For(p.workers, npairs, func(chunk, lo, hi int) {
+			g0, g1, g2 := f.FoldPairsSumProd(
+				nextA[2*lo:2*hi], nextB[2*lo:2*hi],
+				tabA[4*lo:4*hi], tabB[4*lo:4*hi], r)
+			partials[chunk] = [3]field.Elem{g0, g1, g2}
+		})
+		p.tables[0], p.tables[1] = nextA, nextB
+	}
+	out := make([]field.Elem, 3)
+	for _, pt := range partials {
+		out[0] = f.Add(out[0], pt[0])
+		out[1] = f.Add(out[1], pt[1])
+		out[2] = f.Add(out[2], pt[2])
+	}
+	p.pending = out
+}
+
 // Fold binds the current round's variable to the verifier's challenge r,
 // shrinking every table by a factor of ℓ.
 func (p *Prover) Fold(r field.Elem) error {
 	if p.round >= p.cfg.Params.D {
 		return fmt.Errorf("sumcheck: all %d rounds already folded", p.cfg.Params.D)
+	}
+	p.pending = nil
+	if kind := p.fuseKind(); kind != fuseNone && p.round+1 < p.cfg.Params.D {
+		// The next table still has ≥2 pairs, so fold and next message
+		// share one pass over it.
+		p.foldFused(kind, r)
+		p.round++
+		return nil
 	}
 	f := p.cfg.Field
 	ell := p.cfg.Params.Ell
