@@ -16,6 +16,8 @@
 //	sipbench -experiment ipv6           # §5 closing extrapolation
 //	sipbench -experiment mux            # multiplexed conversations: k overlapped
 //	                                    # vs k serial on one connection
+//	sipbench -experiment fanout         # proof-cache fan-out: k verifiers of one
+//	                                    # query, cached replay vs interactive
 //	sipbench -experiment all
 //
 // -maxlogu bounds the sweeps (default 20 multi-round, 16 one-round; the
@@ -45,12 +47,13 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig2a fig2b fig2c fig3a fig3b tamper branching gkr freq ipv6 all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig2a fig2b fig2c fig3a fig3b tamper branching gkr freq ipv6 mux fanout all)")
 	maxLogU := flag.Int("maxlogu", 20, "largest log2(u) for multi-round sweeps")
 	maxLogUOne := flag.Int("maxlogu1", 16, "largest log2(u) for one-round sweeps (prover is Θ(u^{3/2}))")
 	span := flag.Uint64("span", 1000, "SUB-VECTOR query span (the paper uses 1000)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "prover worker-pool size (1 = serial; transcripts are identical for every value)")
+	maxK := flag.Int("maxk", 1000, "largest verifier count for the fanout experiment")
 	flag.Parse()
 
 	f := field.Mersenne()
@@ -77,6 +80,122 @@ func main() {
 	run("freq", func(f field.Field) error { return freq(f, *seed, *workers) })
 	run("ipv6", func(f field.Field) error { return ipv6(f, *seed, *workers) })
 	run("mux", func(f field.Field) error { return mux(f, *seed) })
+	run("fanout", func(f field.Field) error { return fanout(f, *seed, *maxK) })
+}
+
+// fanout: the Fiat–Shamir proof cache under verifier fan-out — k
+// verifiers of one query over one dataset at u = 2^18, interactive
+// conversations (the server reruns its prover per verifier) versus
+// cached replay (the server generates one posted proof, every further
+// request is a cache hit). Both columns exclude stream observation:
+// every verifier fingerprints the stream as it flows by, whichever way
+// it later checks the answer. The cached column times the first fetch
+// (the miss — the one prover run), then every further fetch plus each
+// verifier's offline replay of the posted transcript; only the
+// verifiers' untimed pre-seeding is shared with the interactive arm.
+func fanout(f field.Field, seed uint64, maxK int) error {
+	const logu = 18
+	u := uint64(1) << logu
+	const n = 1 << 14
+	fmt.Printf("Proof-cache fan-out: k verifiers of one F2 query, u = 2^%d, n = %d\n", logu, n)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &wire.Server{F: f, Workers: 1} // one core of prover: the resource the cache conserves
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	cl, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	kind, params := wire.QuerySelfJoinSize, wire.QueryParams{}
+	fmt.Printf("%6s %14s %14s %10s %12s\n", "k", "interactive", "cached", "speedup", "hits/misses")
+	for _, k := range []int{1, 10, 100, 1000} {
+		if k > maxK {
+			break
+		}
+		// A fresh dataset per k keeps the cache accounting exact: one
+		// miss generates the round's proof, every other fetch must hit.
+		name := fmt.Sprintf("fanout%d", k)
+		ups := stream.UnitIncrements(u, n, field.NewSplitMix64(seed+uint64(k)))
+		if _, err := cl.OpenDataset(name, u); err != nil {
+			return err
+		}
+		if _, err := cl.Ingest(ups); err != nil {
+			return err
+		}
+
+		seedVerifier := func(rng field.RNG) (*core.FkVerifier, error) {
+			proto, err := core.NewSelfJoinSize(f, u)
+			if err != nil {
+				return nil, err
+			}
+			v := proto.NewVerifier(rng)
+			return v, v.ObserveBatch(ups, runtime.NumCPU())
+		}
+		ivs := make([]*core.FkVerifier, k)
+		for i := range ivs {
+			// Interactive verifiers draw secret randomness each.
+			if ivs[i], err = seedVerifier(field.NewSplitMix64(seed + uint64(2000+i))); err != nil {
+				return err
+			}
+		}
+
+		t0 := time.Now()
+		for i := 0; i < k; i++ {
+			if _, err := cl.Query(kind, params, ivs[i]); err != nil {
+				return err
+			}
+		}
+		interactive := time.Since(t0)
+
+		before := srv.Stats().ProofCache
+		t0 = time.Now()
+		pf0, err := cl.FetchProof(kind, params, 0)
+		if err != nil {
+			return err
+		}
+		missTime := time.Since(t0)
+
+		// Untimed: seed the k offline verifiers. Every one derives the
+		// same challenges from the posted binding — that is the point:
+		// one transcript serves them all.
+		binding := pf0.Binding
+		cvs := make([]*core.FkVerifier, k)
+		for i := range cvs {
+			if cvs[i], err = seedVerifier(binding.RNG()); err != nil {
+				return err
+			}
+		}
+
+		t0 = time.Now()
+		if err := binding.Verify(pf0, cvs[0]); err != nil {
+			return fmt.Errorf("k=%d: offline verification rejected the posted proof: %v", k, err)
+		}
+		for i := 1; i < k; i++ {
+			pf, err := cl.FetchProof(kind, params, binding.Version)
+			if err != nil {
+				return err
+			}
+			if err := binding.Verify(pf, cvs[i]); err != nil {
+				return fmt.Errorf("k=%d verifier %d: %v", k, i, err)
+			}
+		}
+		cached := missTime + time.Since(t0)
+		st := srv.Stats().ProofCache
+		hits, misses := st.Hits-before.Hits, st.Misses-before.Misses
+		if misses != 1 || hits < uint64(k-1) {
+			return fmt.Errorf("k=%d: %d hits / %d misses, want ≥%d / 1", k, hits, misses, k-1)
+		}
+		fmt.Printf("%6d %14s %14s %9.2fx %9d/%d\n", k,
+			interactive.Round(time.Microsecond), cached.Round(time.Microsecond),
+			float64(interactive)/float64(cached), hits, misses)
+	}
+	return nil
 }
 
 // mux: the wire layer's multiplexed conversations — k F2 query

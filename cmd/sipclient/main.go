@@ -22,6 +22,15 @@
 // -circuit-arg) runs on the same multiplexed connection against the
 // same maintained dataset — no extra upload, no server-side replay.
 //
+// -cached (requires -dataset) replaces the interactive conversations
+// with non-interactive replay: each query fetches the server's posted
+// Fiat–Shamir proof for the dataset's current version — generated once
+// and served from the proof cache to every verifier that asks — and
+// verifies it offline against a verifier built from the proof binding's
+// deterministic challenge stream and this client's own copy of the
+// updates. No prover work happens on the server after the first fetch
+// of each (version, query).
+//
 // Point it at a server started with -cheat-drop to watch every v1 query
 // get rejected.
 package main
@@ -39,7 +48,9 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
+	"repro/internal/fs"
 	"repro/internal/gkr"
 	"repro/internal/stream"
 	"repro/internal/wire"
@@ -55,7 +66,11 @@ func main() {
 	concurrency := flag.Int("concurrency", 1, "query rounds overlapped on the one connection (multiplexed conversations)")
 	circuitName := flag.String("circuit", "", fmt.Sprintf("add a CIRCUIT (GKR) conversation per round; families: %v", circuit.Families()))
 	circuitArg := flag.Uint64("circuit-arg", 0, "circuit family argument (MATMUL: matrix dimension n, 0 = default)")
+	cached := flag.Bool("cached", false, "verify posted Fiat–Shamir proofs offline instead of running interactive conversations (requires -dataset)")
 	flag.Parse()
+	if *cached && *dataset == "" {
+		log.Fatal("-cached requires -dataset: only named datasets post proofs")
+	}
 	if *concurrency < 1 {
 		*concurrency = 1
 	}
@@ -112,34 +127,40 @@ func main() {
 	if *circuitName != "" {
 		gkvs = make([]*gkr.VerifierSession, rounds)
 	}
-	for r := 0; r < rounds; r++ {
-		f2proto, err := core.NewSelfJoinSize(f, u)
-		check(err)
-		f2vs[r] = f2proto.NewVerifier(rng)
-		rqproto, err := core.NewRangeQuery(f, u)
-		check(err)
-		rqvs[r] = rqproto.NewVerifier(rng)
-		hhproto, err := core.NewHeavyHitters(f, u)
-		check(err)
-		hhvs[r] = hhproto.NewVerifier(rng)
-		if gkvs != nil {
-			vs, err := gkr.NewVerifierFor(f, circuit.Spec{Name: *circuitName, Arg: *circuitArg}, u, rng)
-			check(err)
-			gkvs[r] = vs
-		}
-	}
-
-	// The F2 summary is a plain LDE evaluation, so the whole batch can be
-	// folded in through a worker pool; the tree-based summaries stream.
-	for r := 0; r < rounds; r++ {
-		check(f2vs[r].ObserveBatch(ups, runtime.NumCPU()))
-	}
-	for _, up := range ups {
+	// In -cached mode the challenge randomness comes from each proof's
+	// binding, which is only known after the fetch — verifiers are built
+	// per fetched proof inside the round instead of up front.
+	if !*cached {
 		for r := 0; r < rounds; r++ {
-			check(rqvs[r].Observe(up))
-			check(hhvs[r].Observe(up))
+			f2proto, err := core.NewSelfJoinSize(f, u)
+			check(err)
+			f2vs[r] = f2proto.NewVerifier(rng)
+			rqproto, err := core.NewRangeQuery(f, u)
+			check(err)
+			rqvs[r] = rqproto.NewVerifier(rng)
+			hhproto, err := core.NewHeavyHitters(f, u)
+			check(err)
+			hhvs[r] = hhproto.NewVerifier(rng)
 			if gkvs != nil {
-				check(gkvs[r].Observe(up))
+				vs, err := gkr.NewVerifierFor(f, circuit.Spec{Name: *circuitName, Arg: *circuitArg}, u, rng)
+				check(err)
+				gkvs[r] = vs
+			}
+		}
+
+		// The F2 summary is a plain LDE evaluation, so the whole batch can
+		// be folded in through a worker pool; the tree-based summaries
+		// stream.
+		for r := 0; r < rounds; r++ {
+			check(f2vs[r].ObserveBatch(ups, runtime.NumCPU()))
+		}
+		for _, up := range ups {
+			for r := 0; r < rounds; r++ {
+				check(rqvs[r].Observe(up))
+				check(hhvs[r].Observe(up))
+				if gkvs != nil {
+					check(gkvs[r].Observe(up))
+				}
 			}
 		}
 	}
@@ -256,6 +277,65 @@ func main() {
 		return lines
 	}
 
+	// runCachedRound is the non-interactive battery: fetch each query's
+	// posted proof (one server-side generation per dataset version, every
+	// later fetch a cache hit), rebuild the verifier from the binding's
+	// challenge stream, replay offline.
+	runCachedRound := func(r int) []string {
+		t0 := time.Now()
+		var lines []string
+		lo, hi := u/4, u/4+99
+		phi := 0.001
+		fetchVerify := func(name string, kind wire.QueryKind, params wire.QueryParams) core.VerifierSession {
+			var built core.VerifierSession
+			pf, stats, err := client.QueryCached(kind, params, 0,
+				func(b fs.Binding) (core.VerifierSession, error) {
+					v, err := engine.NewStreamVerifier(f, u, kind, params, b.RNG())
+					if err != nil {
+						return nil, err
+					}
+					for _, up := range ups {
+						if err := v.Observe(up); err != nil {
+							return nil, err
+						}
+					}
+					built = v
+					return v, nil
+				})
+			if err != nil {
+				lines = append(lines, report(name, stats, err))
+				return nil
+			}
+			lines = append(lines, fmt.Sprintf("%s: ACCEPTED offline — posted proof v%d, %d recorded rounds, %d proof bytes",
+				name, pf.Version, stats.Rounds, stats.CommBytes()))
+			return built
+		}
+		if v := fetchVerify("SELF-JOIN SIZE (F2)", wire.QuerySelfJoinSize, wire.QueryParams{}); v != nil {
+			if res, err := v.(*core.FkVerifier).Result(); err == nil {
+				lines = append(lines, fmt.Sprintf("  F2 = %d", res))
+			}
+		}
+		if v := fetchVerify(fmt.Sprintf("RANGE QUERY [%d,%d]", lo, hi), wire.QueryRangeQuery, wire.QueryParams{A: lo, B: hi}); v != nil {
+			if entries, err := v.(*core.SubVectorVerifier).Result(); err == nil {
+				lines = append(lines, fmt.Sprintf("  %d nonzero entries verified", len(entries)))
+			}
+		}
+		if v := fetchVerify(fmt.Sprintf("HEAVY HITTERS (φ=%g)", phi), wire.QueryHeavyHitters, wire.QueryParams{Phi: phi}); v != nil {
+			if hhRes, _, err := v.(*core.HeavyHittersVerifier).Result(); err == nil {
+				lines = append(lines, fmt.Sprintf("  %d heavy hitters verified complete", len(hhRes)))
+			}
+		}
+		if *circuitName != "" {
+			if v := fetchVerify(fmt.Sprintf("CIRCUIT %s (GKR)", *circuitName), wire.QueryCircuit, wire.QueryParams{Circuit: *circuitName, A: *circuitArg}); v != nil {
+				if outs, err := v.(*gkr.VerifierSession).Outputs(); err == nil {
+					lines = append(lines, fmt.Sprintf("  %d circuit outputs verified", len(outs)))
+				}
+			}
+		}
+		lines = append(lines, fmt.Sprintf("round wall time: %v", time.Since(t0).Round(time.Millisecond)))
+		return lines
+	}
+
 	t0 := time.Now()
 	results := make([][]string, rounds)
 	sem := make(chan struct{}, *concurrency)
@@ -266,7 +346,11 @@ func main() {
 		go func(r int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[r] = runRound(r)
+			if *cached {
+				results[r] = runCachedRound(r)
+			} else {
+				results[r] = runRound(r)
+			}
 		}(r)
 	}
 	wg.Wait()

@@ -59,6 +59,7 @@ func main() {
 	maxDatasets := flag.Int("max-datasets", wire.DefaultMaxDatasets, "cap on named datasets")
 	maxPrivate := flag.Int("max-private", wire.DefaultMaxPrivateDatasets, "count backstop on concurrent v1 private datasets (-1 = no cap; the byte-level defense is -mem-budget)")
 	maxQueries := flag.Int("max-queries", wire.DefaultMaxConcurrentQueries, "multiplexed query conversations in flight per connection (-1 = no cap); excess channel opens are refused with a budget frame")
+	proofBudget := flag.Int64("proof-cache-budget", wire.DefaultProofCacheBudget, "bytes of posted Fiat–Shamir proofs kept for PROOF requests (one proof per dataset-version and query, served to every verifier; negative = disabled)")
 	dataDir := flag.String("data-dir", "", "checkpoint directory: enables eviction, durability, and restart recovery")
 	memBudget := flag.Int64("mem-budget", 0, "aggregate resident dataset memory in bytes; LRU datasets evict to -data-dir (0 = unlimited)")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval for dirty datasets (needs -data-dir; 0 = only on eviction/shutdown)")
@@ -83,6 +84,7 @@ func main() {
 		MaxConcurrentQueries: *maxQueries,
 		MemBudget:            *memBudget,
 		DataDir:              *dataDir,
+		ProofCacheBudget:     *proofBudget,
 	}
 	if *dataDir != "" {
 		srv.CheckpointEvery = *ckptEvery
@@ -137,10 +139,21 @@ func main() {
 		log.Printf("durable datasets in %s (budget %d bytes, checkpoint every %v)", *dataDir, *memBudget, *ckptEvery)
 	}
 	log.Printf("sipserver (p = 2^61-1) listening on %s; datasets persist across connections", ln.Addr())
+	switch {
+	case *proofBudget < 0:
+		log.Printf("proof cache disabled: every PROOF request regenerates (concurrent requests still coalesce)")
+	case *proofBudget == 0:
+		log.Printf("proof cache: %d bytes for posted proofs (one per dataset-version and query)", int64(wire.DefaultProofCacheBudget))
+	default:
+		log.Printf("proof cache: %d bytes for posted proofs (one per dataset-version and query)", *proofBudget)
+	}
 	err = srv.Serve(ln)
 	if cerr := srv.Close(); cerr != nil {
 		log.Printf("shutdown: %v", cerr)
 	}
+	pc := srv.Stats().ProofCache
+	log.Printf("proof cache: %d hits (%d coalesced), %d misses, %d evictions, %d proofs / %d bytes resident",
+		pc.Hits, pc.Coalesced, pc.Misses, pc.Evictions, pc.Entries, pc.Bytes)
 	// The engine is ours, not the server's: stop its checkpointer and
 	// flush dirty datasets so shutdown is loss-free.
 	if cerr := eng.Close(); cerr != nil {

@@ -249,19 +249,21 @@ func tableBytes(paddedU uint64) int64 { return int64(paddedU) * 16 }
 // aggregate state. While unsealed it is mutated in place by ingestion;
 // Snapshot seals it, and the next ingest clones it (copy-on-write).
 type tableState struct {
-	counts []int64
-	elems  []field.Elem
-	total  int64
-	n      uint64 // updates ingested
-	sealed bool
+	counts  []int64
+	elems   []field.Elem
+	total   int64
+	n       uint64 // updates ingested
+	version uint64 // ingest batches applied; the proof-cache key component
+	sealed  bool
 }
 
 func (st *tableState) clone() *tableState {
 	return &tableState{
-		counts: append([]int64(nil), st.counts...),
-		elems:  append([]field.Elem(nil), st.elems...),
-		total:  st.total,
-		n:      st.n,
+		counts:  append([]int64(nil), st.counts...),
+		elems:   append([]field.Elem(nil), st.elems...),
+		total:   st.total,
+		n:       st.n,
+		version: st.version,
 	}
 }
 
@@ -302,6 +304,7 @@ type Dataset struct {
 	res     residency   // the dataset's residency latch state
 	resCond *sync.Cond  // on mu; broadcast on every residency transition
 	nMeta   uint64      // updates ingested, valid even while evicted
+	verMeta uint64      // dataset version, valid even while evicted
 	lastUse uint64      // LRU stamp; guarded by eng.mu, not mu
 
 	// saveMu serializes checkpoint writes for this dataset and guards
@@ -497,8 +500,26 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 		}
 		st.n += uint64(len(idx))
 		d.nMeta = st.n
+		if len(idx) > 0 {
+			// Every non-empty batch rotates the dataset version, which
+			// rotates the Fiat–Shamir challenge point of every cached
+			// proof key — an empty batch changes no state and keeps the
+			// cache warm.
+			st.version++
+			d.verMeta = st.version
+		}
 		return nil
 	})
+}
+
+// Version returns the dataset's monotone version: the number of
+// non-empty ingest batches applied since creation. It survives eviction
+// and (via the checkpoint format) restarts, so a proof cached under
+// (name, version, query) can never be served for different data.
+func (d *Dataset) Version() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.verMeta
 }
 
 // Snapshot returns an immutable view of the current state in O(1),
@@ -550,3 +571,7 @@ func (s *Snapshot) Total() int64 { return s.st.total }
 
 // Updates returns how many stream updates the snapshot reflects.
 func (s *Snapshot) Updates() uint64 { return s.st.n }
+
+// Version returns the dataset version the snapshot was taken at; see
+// Dataset.Version.
+func (s *Snapshot) Version() uint64 { return s.st.version }

@@ -389,6 +389,7 @@ func (e *Engine) rehydrate(d *Dataset) error {
 	} else {
 		d.head = st
 		d.nMeta = st.n
+		d.verMeta = st.version
 		d.res = resResident
 		e.touchLocked(d)
 	}
@@ -411,6 +412,7 @@ func (d *Dataset) checkpointOf(st *tableState) *store.Checkpoint {
 		Modulus:  d.f.Modulus(),
 		Total:    st.total,
 		Updates:  st.n,
+		Version:  st.version,
 		Counts:   st.counts,
 	}
 }
@@ -435,10 +437,11 @@ func (d *Dataset) stateFromCheckpoint(ckpt *store.Checkpoint) (*tableState, erro
 		return nil, err
 	}
 	st := &tableState{
-		counts: ckpt.Counts,
-		elems:  make([]field.Elem, len(ckpt.Counts)),
-		total:  ckpt.Total,
-		n:      ckpt.Updates,
+		counts:  ckpt.Counts,
+		elems:   make([]field.Elem, len(ckpt.Counts)),
+		total:   ckpt.Total,
+		n:       ckpt.Updates,
+		version: ckpt.Version,
 	}
 	f := d.f
 	rebuild := func(lo, hi int) {
@@ -589,6 +592,7 @@ func (e *Engine) Recover() (int, error) {
 			e.resident += size
 		} // else: stays evicted (head nil) until first use
 		ds.nMeta = ckpt.Updates
+		ds.verMeta = ckpt.Version
 		ds.diskN = ckpt.Updates
 		ds.diskHas = true
 		e.touchLocked(ds)

@@ -1,0 +1,218 @@
+package engine_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/stream"
+)
+
+// TestGenerateProofAllKinds is the contract of the replay layer: for
+// every query kind, GenerateProof succeeds (generation self-verifies
+// against a verifier seeded from the maintained counts), and a
+// STREAMING verifier — one that observed the original stream update by
+// update, as a real client does — accepts the recorded proof under the
+// same binding. That crosschecks count-seeded and stream-fed verifier
+// fingerprints in one shot.
+func TestGenerateProofAllKinds(t *testing.T) {
+	const u = 500
+	f := field.Mersenne()
+	ups := stream.UniformDeltas(u, 20, field.NewSplitMix64(42))
+	ds, err := engine.NewDataset(f, u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	snap := ds.Snapshot()
+	kinds := allKinds()
+	kinds = append(kinds, struct {
+		kind   engine.QueryKind
+		params engine.QueryParams
+	}{engine.QueryCircuit, engine.QueryParams{Circuit: "F2"}})
+	for _, tc := range kinds {
+		pf, err := snap.GenerateProof(tc.kind, tc.params)
+		if err != nil {
+			t.Fatalf("kind %d: GenerateProof: %v", tc.kind, err)
+		}
+		b := snap.ProofBinding(tc.kind, tc.params)
+		if pf.Binding != b || b.Version != 1 {
+			t.Fatalf("kind %d: proof binding %+v, want %+v at version 1", tc.kind, pf.Binding, b)
+		}
+		v, obs, err := newVerifier(f, u, tc.kind, tc.params, b.RNG())
+		if err != nil {
+			t.Fatalf("kind %d: streaming verifier: %v", tc.kind, err)
+		}
+		for _, up := range ups {
+			if err := obs(up); err != nil {
+				t.Fatalf("kind %d: observe: %v", tc.kind, err)
+			}
+		}
+		if err := b.Verify(pf, v); err != nil {
+			t.Fatalf("kind %d: streaming verifier rejected the posted proof: %v", tc.kind, err)
+		}
+	}
+}
+
+// TestGenerateProofDeterministic: at a fixed dataset version the proof
+// is a pure function of the binding — two independent generations are
+// bit-identical.
+func TestGenerateProofDeterministic(t *testing.T) {
+	const u = 500
+	f := field.Mersenne()
+	ds, err := engine.NewDataset(f, u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ingest(stream.UnitIncrements(u, 300, field.NewSplitMix64(5))); err != nil {
+		t.Fatal(err)
+	}
+	snap := ds.Snapshot()
+	a, err := snap.GenerateProof(engine.QueryHeavyHitters, engine.QueryParams{Phi: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snap.GenerateProof(engine.QueryHeavyHitters, engine.QueryParams{Phi: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("two generations at one version are not bit-identical")
+	}
+}
+
+// TestProofVersionInvalidation: an ingest between two proofs of the
+// same query yields a different binding (fresh challenges) and a
+// different proof — and the new proof still verifies for a client that
+// observed the whole stream.
+func TestProofVersionInvalidation(t *testing.T) {
+	const u = 256
+	f := field.Mersenne()
+	e := engine.New(f, 2)
+	ds, err := e.Open("metrics", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups1 := stream.UnitIncrements(u, 100, field.NewSplitMix64(8))
+	ups2 := stream.UnitIncrements(u, 50, field.NewSplitMix64(9))
+	if err := ds.Ingest(ups1); err != nil {
+		t.Fatal(err)
+	}
+	pf1, err := ds.Snapshot().GenerateProof(engine.QuerySelfJoinSize, engine.QueryParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ingest(ups2); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := ds.Snapshot()
+	pf2, err := snap2.GenerateProof(engine.QuerySelfJoinSize, engine.QueryParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf1.Version == pf2.Version {
+		t.Fatalf("ingest did not rotate the proof version (%d)", pf1.Version)
+	}
+	if bytes.Equal(pf1.Encode(), pf2.Encode()) {
+		t.Fatal("proofs at different versions are identical")
+	}
+	b2 := snap2.ProofBinding(engine.QuerySelfJoinSize, engine.QueryParams{})
+	v, obs, err := newVerifier(f, u, engine.QuerySelfJoinSize, engine.QueryParams{}, b2.RNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range append(append([]stream.Update{}, ups1...), ups2...) {
+		if err := obs(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b2.Verify(pf2, v); err != nil {
+		t.Fatalf("post-ingest proof rejected by a fully-observed verifier: %v", err)
+	}
+	// The stale proof must not verify under the new binding.
+	if err := b2.Verify(pf1, v); err == nil {
+		t.Fatal("stale proof accepted under the new version's binding")
+	}
+}
+
+// TestVersionCounter: the version bumps once per non-empty ingest
+// batch, snapshots pin the version they were taken at, and empty
+// batches leave it alone.
+func TestVersionCounter(t *testing.T) {
+	const u = 64
+	ds, err := engine.NewDataset(field.Mersenne(), u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Version(); got != 0 {
+		t.Fatalf("fresh dataset version %d, want 0", got)
+	}
+	if err := ds.IngestColumns(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Version(); got != 0 {
+		t.Fatalf("empty batch bumped version to %d", got)
+	}
+	if err := ds.IngestColumns([]uint64{1, 2}, []int64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	snap := ds.Snapshot()
+	if err := ds.IngestColumns([]uint64{5}, []int64{6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Version(); got != 2 {
+		t.Fatalf("version %d after two batches, want 2", got)
+	}
+	if got := snap.Version(); got != 1 {
+		t.Fatalf("snapshot version %d, want the pinned 1", got)
+	}
+}
+
+// TestVersionSurvivesRecovery: the version counter rides in the
+// checkpoint, so a restarted engine resumes from the persisted version
+// instead of resurrecting version keys already used for other data.
+func TestVersionSurvivesRecovery(t *testing.T) {
+	const u = 64
+	f := field.Mersenne()
+	dir := t.TempDir()
+	e := engine.New(f, 1)
+	if err := e.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := e.Open("metrics", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ds.Ingest(stream.UnitIncrements(u, 10, field.NewSplitMix64(uint64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := engine.New(f, 1)
+	if err := e2.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := e2.Open("metrics", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds2.Version(); got != 3 {
+		t.Fatalf("recovered version %d, want 3", got)
+	}
+	if err := ds2.Ingest(stream.UnitIncrements(u, 5, field.NewSplitMix64(77))); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds2.Version(); got != 4 {
+		t.Fatalf("post-recovery ingest version %d, want 4", got)
+	}
+}

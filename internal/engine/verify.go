@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fs"
+	"repro/internal/gkr"
+	"repro/internal/stream"
+)
+
+// This file is the verifier-construction side of the non-interactive
+// replay layer. NewStreamVerifier builds the verifier session for any
+// query kind — the object a client holds for offline proof
+// verification. Snapshot.NewVerifier seeds one from the snapshot's
+// maintained counts, so the engine can run a complete prover↔verifier
+// conversation locally and post the recorded transcript as a
+// Fiat–Shamir proof (fs.Proof).
+//
+// Every verifier's streamed state is linear in the update deltas (LDE
+// evaluations, hash-tree roots, Σδ totals), so observing one aggregated
+// update per nonzero count yields exactly the fingerprint of the
+// original stream — the package tests crosscheck this against verifiers
+// that observed the stream update by update.
+
+// StreamVerifier is a verifier session that also observes stream
+// updates — what a client keeps while uploading, and later drives
+// either interactively or against a posted proof.
+type StreamVerifier interface {
+	core.VerifierSession
+	Observe(stream.Update) error
+}
+
+// NewStreamVerifier constructs the verifier session for one query kind
+// with its randomness drawn from rng and its query parameters set, but
+// with no observed state: the caller streams its own copy of the
+// updates into it. Pass a transcript-derived rng (fs.Binding.RNG) to
+// verify a posted proof offline, or a secret one for an interactive
+// conversation.
+func NewStreamVerifier(f field.Field, u uint64, kind QueryKind, params QueryParams, rng field.RNG) (StreamVerifier, error) {
+	switch kind {
+	case QuerySelfJoinSize, QueryFk:
+		k := 2
+		if kind == QueryFk {
+			k = int(params.K)
+		}
+		proto, err := core.NewFk(f, u, k)
+		if err != nil {
+			return nil, err
+		}
+		return proto.NewVerifier(rng), nil
+	case QueryRangeSum:
+		proto, err := core.NewRangeSum(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(params.A, params.B)
+	case QueryRangeQuery:
+		proto, err := core.NewRangeQuery(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(params.A, params.B)
+	case QueryIndex:
+		proto, err := core.NewIndex(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(params.A)
+	case QueryDictionary:
+		proto, err := core.NewDictionary(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(params.A)
+	case QueryPredecessor:
+		proto, err := core.NewPredecessor(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(params.A)
+	case QuerySuccessor:
+		proto, err := core.NewSuccessor(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(params.A)
+	case QueryKLargest:
+		proto, err := core.NewKLargest(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(int(params.K))
+	case QueryHeavyHitters:
+		proto, err := core.NewHeavyHitters(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(rng)
+		return v, v.SetQuery(params.Phi)
+	case QueryF0:
+		proto, err := core.NewF0(f, u, params.Phi)
+		if err != nil {
+			return nil, err
+		}
+		return proto.NewVerifier(rng), nil
+	case QueryFmax:
+		proto, err := core.NewFmax(f, u, params.Phi)
+		if err != nil {
+			return nil, err
+		}
+		return proto.NewVerifier(rng), nil
+	case QueryCircuit:
+		return gkr.NewVerifierFor(f, circuit.Spec{Name: params.Circuit, Arg: params.A}, u, rng)
+	default:
+		return nil, fmt.Errorf("engine: unknown query kind %d", kind)
+	}
+}
+
+// updatesFromCounts materializes one aggregated update per nonzero
+// count.
+func (s *Snapshot) updatesFromCounts() []stream.Update {
+	nnz := 0
+	for _, c := range s.st.counts {
+		if c != 0 {
+			nnz++
+		}
+	}
+	ups := make([]stream.Update, 0, nnz)
+	for i, c := range s.st.counts {
+		if c != 0 {
+			ups = append(ups, stream.Update{Index: uint64(i), Delta: c})
+		}
+	}
+	return ups
+}
+
+func (s *Snapshot) seed(v StreamVerifier) error {
+	for i, c := range s.st.counts {
+		if c != 0 {
+			if err := v.Observe(stream.Update{Index: uint64(i), Delta: c}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NewVerifier constructs the verifier session for one query kind with
+// its randomness drawn from rng and its streamed fingerprint seeded
+// from the snapshot's maintained counts. Pass a transcript-derived rng
+// (fs.Binding.RNG) for Fiat–Shamir proof generation, or a secret one to
+// audit the server's own state interactively.
+func (s *Snapshot) NewVerifier(kind QueryKind, params QueryParams, rng field.RNG) (core.VerifierSession, error) {
+	v, err := NewStreamVerifier(s.ds.f, s.ds.origU, kind, params, rng)
+	if err != nil {
+		return nil, err
+	}
+	if b, ok := v.(interface {
+		ObserveBatch([]stream.Update, int) error
+	}); ok {
+		// The F2/Fk fingerprint is a plain LDE evaluation, so the whole
+		// count table folds in through the parallel batch path.
+		return v, b.ObserveBatch(s.updatesFromCounts(), s.ds.workers)
+	}
+	return v, s.seed(v)
+}
+
+// FSQuery returns the canonical fs.Query descriptor for a query.
+func FSQuery(kind QueryKind, params QueryParams) fs.Query {
+	return fs.Query{
+		Kind: uint8(kind), A: params.A, B: params.B,
+		K: params.K, Phi: params.Phi, Circuit: params.Circuit,
+	}
+}
+
+// ProofBinding is the Fiat–Shamir binding a proof of this query over
+// this snapshot commits to. An offline verifier reconstructs the same
+// binding from values it knows independently (plus the server-asserted
+// version) to derive the challenge randomness.
+func (s *Snapshot) ProofBinding(kind QueryKind, params QueryParams) fs.Binding {
+	return fs.Binding{
+		Modulus:  s.ds.f.Modulus(),
+		Universe: s.ds.origU,
+		Dataset:  s.ds.name,
+		Version:  s.st.version,
+		Query:    FSQuery(kind, params),
+	}
+}
+
+// GenerateProof runs one complete Fiat–Shamir conversation over the
+// snapshot — prover from the maintained tables, verifier seeded from
+// the same tables with transcript-derived challenges — and returns the
+// recorded proof. Generation is deterministic (same snapshot version ⇒
+// bit-identical proof) and self-verifying: the internal verifier checks
+// every message before the proof exists.
+func (s *Snapshot) GenerateProof(kind QueryKind, params QueryParams) (*fs.Proof, error) {
+	b := s.ProofBinding(kind, params)
+	v, err := s.NewVerifier(kind, params, b.RNG())
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.NewProver(kind, params)
+	if err != nil {
+		return nil, err
+	}
+	return b.Prove(p, v)
+}

@@ -1,0 +1,42 @@
+package fs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fs"
+)
+
+// FuzzDecodeProof checks the proof codec never panics, rejects
+// truncation/oversize, and satisfies decode→re-encode identity: any
+// bytes DecodeProof accepts must re-encode to exactly those bytes.
+func FuzzDecodeProof(fz *testing.F) {
+	small := &fs.Proof{
+		Binding: fs.Binding{
+			Modulus: 7, Universe: 4, Dataset: "d", Version: 1,
+			Query: fs.Query{Kind: 2, A: 1, K: -1, Phi: 0.5, Circuit: "F2"},
+		},
+		Messages: []core.Msg{
+			{Ints: []uint64{3}, Elems: []field.Elem{1, 2}},
+			{Elems: []field.Elem{5}},
+		},
+	}
+	fz.Add(small.Encode())
+	fz.Add(small.Encode()[:10])
+	fz.Add([]byte("SIPPF1"))
+	fz.Fuzz(func(t *testing.T, data []byte) {
+		pf, err := fs.DecodeProof(data)
+		if err != nil {
+			return
+		}
+		re := pf.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode→re-encode not identity:\n in: %x\nout: %x", data, re)
+		}
+		if len(re) != pf.EncodedSize() {
+			t.Fatalf("EncodedSize %d != %d", pf.EncodedSize(), len(re))
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package proofcache is the server-side store of posted Fiat–Shamir
+// proofs: an LRU cache with a byte budget, keyed by (dataset name,
+// dataset version, canonical query encoding), with single-flight
+// computation so k concurrent misses for one key cost one proof run.
+//
+// Invalidation is by key, not by sweep: every ingest batch bumps the
+// dataset's version, so stale proofs simply stop being requested and
+// age out under LRU pressure. The cache stores encoded proof bytes —
+// exactly what the wire layer ships — and returns them aliased, so
+// callers must treat the slice as read-only.
+package proofcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one cached proof.
+type Key struct {
+	Dataset string
+	Version uint64
+	Query   string // canonical query encoding (fs.Query.Encode), as a string for comparability
+}
+
+// Stats are the cache's monotone counters. Hits counts every Get that
+// did not run compute — including calls that joined an in-flight
+// computation, which Coalesced counts separately.
+type Stats struct {
+	Hits      uint64 // served without running compute (cached or coalesced)
+	Misses    uint64 // ran compute
+	Evictions uint64 // entries dropped for the byte budget
+	Coalesced uint64 // hits that waited on another caller's compute
+	Bytes     int64  // current cached bytes
+	Entries   int    // current cached proofs
+}
+
+type entry struct {
+	key Key
+	val []byte
+	lru *list.Element
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	entries  map[Key]*entry
+	lru      *list.List // front = most recent; values are *entry
+	inflight map[Key]*flight
+	stats    Stats
+}
+
+// New returns a cache holding at most budget bytes of encoded proofs
+// (the key overhead is not counted). A budget ≤ 0 disables storage:
+// Get still single-flights concurrent computations but keeps nothing.
+func New(budget int64) *Cache {
+	return &Cache{
+		budget:   budget,
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// Get returns the cached proof for k, computing and caching it on a
+// miss. Concurrent Gets for the same key share one compute call; every
+// waiter receives the same bytes (or the same error — errors are not
+// cached). The returned slice is shared: callers must not modify it.
+func (c *Cache) Get(k Key, compute func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(e.lru)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.val, nil
+	}
+	if fl, ok := c.inflight[k]; ok {
+		c.stats.Hits++
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[k] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	fl.val, fl.err = compute()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if fl.err == nil {
+		c.insertLocked(k, fl.val)
+	}
+	c.mu.Unlock()
+	return fl.val, fl.err
+}
+
+// insertLocked stores val under k, evicting least-recently-used entries
+// until the budget holds. A value larger than the whole budget is not
+// stored at all (it would only evict everything for nothing).
+func (c *Cache) insertLocked(k Key, val []byte) {
+	if int64(len(val)) > c.budget {
+		return
+	}
+	if _, ok := c.entries[k]; ok {
+		return // a racing Get of the same key already stored it
+	}
+	for c.used+int64(len(val)) > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= int64(len(e.val))
+		c.stats.Evictions++
+	}
+	e := &entry{key: k, val: val}
+	e.lru = c.lru.PushFront(e)
+	c.entries[k] = e
+	c.used += int64(len(val))
+}
+
+// DropDataset removes every cached proof for the named dataset, at any
+// version — used when a dataset is deleted outright (version-key
+// invalidation handles ordinary ingest).
+func (c *Cache) DropDataset(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.key.Dataset == name {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.used -= int64(len(e.val))
+			c.stats.Evictions++
+		}
+		el = next
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Bytes = c.used
+	s.Entries = len(c.entries)
+	return s
+}

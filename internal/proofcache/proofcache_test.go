@@ -1,0 +1,183 @@
+package proofcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(ds string, v uint64, q string) Key { return Key{Dataset: ds, Version: v, Query: q} }
+
+func TestHitMissEvict(t *testing.T) {
+	c := New(100)
+	val := func(n int) []byte { return bytes.Repeat([]byte{0xab}, n) }
+	computes := 0
+	get := func(k Key, n int) []byte {
+		b, err := c.Get(k, func() ([]byte, error) { computes++; return val(n), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	get(key("a", 1, "q1"), 40)
+	get(key("a", 1, "q2"), 40)
+	if got := get(key("a", 1, "q1"), 40); !bytes.Equal(got, val(40)) {
+		t.Fatal("hit returned wrong bytes")
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2", computes)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Bytes != 80 || s.Entries != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Inserting 40 more evicts the LRU entry — q2, since q1 was just used.
+	get(key("a", 2, "q1"), 40)
+	s = c.Stats()
+	if s.Evictions != 1 || s.Bytes != 80 || s.Entries != 2 {
+		t.Fatalf("after eviction: %+v", s)
+	}
+	if computes != 3 {
+		t.Fatalf("computes = %d, want 3", computes)
+	}
+	get(key("a", 1, "q2"), 40) // recompute: it was evicted
+	if computes != 4 {
+		t.Fatalf("computes = %d, want 4 (evicted entry served from cache?)", computes)
+	}
+	get(key("a", 1, "q1"), 40) // evicted by the line above? q1@1 was LRU
+	if computes != 5 {
+		t.Fatalf("computes = %d, want 5", computes)
+	}
+}
+
+func TestOversizeNotStored(t *testing.T) {
+	c := New(10)
+	k := key("a", 1, "q")
+	computes := 0
+	for i := 0; i < 2; i++ {
+		b, err := c.Get(k, func() ([]byte, error) { computes++; return make([]byte, 11), nil })
+		if err != nil || len(b) != 11 {
+			t.Fatalf("get: %v len %d", err, len(b))
+		}
+	}
+	if computes != 2 {
+		t.Fatalf("oversize value was cached (computes=%d)", computes)
+	}
+	if s := c.Stats(); s.Bytes != 0 || s.Entries != 0 {
+		t.Fatalf("oversize left residue: %+v", s)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(100)
+	k := key("a", 1, "q")
+	boom := errors.New("boom")
+	if _, err := c.Get(k, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	b, err := c.Get(k, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(b) != "ok" {
+		t.Fatalf("recovery get: %v %q", err, b)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := New(1 << 20)
+	const k = 50
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	vals := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := c.Get(key("a", 1, "q"), func() ([]byte, error) {
+				computes.Add(1)
+				<-gate // park until every other goroutine has joined the flight
+				return []byte("proof"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = b
+		}(i)
+	}
+	// Coalesced increments as each waiter joins the in-flight compute, so
+	// once it reads k-1 all the losers are parked behind the winner.
+	for c.Stats().Coalesced < k-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d computes for %d concurrent gets, want 1", n, k)
+	}
+	for _, v := range vals {
+		if string(v) != "proof" {
+			t.Fatal("waiter got wrong bytes")
+		}
+	}
+	s := c.Stats()
+	if s.Hits < k-1 {
+		t.Fatalf("hits = %d, want ≥ %d", s.Hits, k-1)
+	}
+	if s.Coalesced != uint64(k-1) {
+		t.Fatalf("coalesced = %d, want %d", s.Coalesced, k-1)
+	}
+}
+
+func TestDropDataset(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 3; i++ {
+		k := key("a", uint64(i), "q")
+		if _, err := c.Get(k, func() ([]byte, error) { return []byte{1}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get(key("b", 1, "q"), func() ([]byte, error) { return []byte{1}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.DropDataset("a")
+	s := c.Stats()
+	if s.Entries != 1 || s.Bytes != 1 {
+		t.Fatalf("after drop: %+v", s)
+	}
+}
+
+// TestRaceStress hammers one cache from many goroutines with version
+// churn — the CI race step runs this under -race.
+func TestRaceStress(t *testing.T) {
+	c := New(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				version := uint64(i % 7) // churn: later versions evict earlier ones
+				k := key("ds", version, fmt.Sprintf("q%d", i%3))
+				b, err := c.Get(k, func() ([]byte, error) {
+					return bytes.Repeat([]byte{byte(version)}, 64), nil
+				})
+				if err != nil || len(b) != 64 || b[0] != byte(version) {
+					t.Errorf("g%d i%d: %v %v", g, i, err, b)
+					return
+				}
+				if i%50 == 0 {
+					c.DropDataset("ds")
+				}
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Bytes > 256 {
+		t.Fatalf("budget exceeded: %+v", s)
+	}
+}

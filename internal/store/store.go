@@ -15,9 +15,16 @@
 //	modulus  uint64   field modulus the counts were ingested under
 //	total    int64    Σδ over the ingested stream
 //	updates  uint64   number of stream updates ingested
+//	version  uint64   dataset version (ingest batches applied) — format ≥ 2
 //	nCounts  uint64   padded table length (ℓ^d ≥ universe)
 //	counts   nCounts × int64
 //	crc      uint32   CRC-32C over everything above
+//
+// Format 1 files (no dataset-version field) still load; they report
+// Version = Updates, an upper bound on any version the dataset could
+// have reached (each ingest batch bumps the version by one and the
+// update count by at least one), so a recovered dataset can never hand
+// the proof cache a version key it already used for different data.
 //
 // Save is atomic: the bytes are written to a temporary file in the
 // destination directory, synced, and renamed over the target, so a crash
@@ -40,12 +47,20 @@ import (
 // version.
 var magic = [8]byte{'S', 'I', 'P', 'C', 'K', 'P', 'T', version}
 
-// version is the current checkpoint format version.
-const version = 1
+// version is the current checkpoint format version. versionLegacy is
+// the oldest format Decode still reads.
+const (
+	version       = 2
+	versionLegacy = 1
+)
 
-// headerSize is the fixed prefix before the counts: magic + five uint64
-// fields.
-const headerSize = 8 + 5*8
+// headerSize is the fixed prefix before the counts: magic + six uint64
+// fields. headerSizeLegacy is the format-1 prefix, which lacked the
+// dataset-version field.
+const (
+	headerSize       = 8 + 6*8
+	headerSizeLegacy = 8 + 5*8
+)
 
 // crcSize is the trailing CRC-32C.
 const crcSize = 4
@@ -70,6 +85,7 @@ type Checkpoint struct {
 	Modulus  uint64  // field modulus the dataset was ingested under
 	Total    int64   // Σδ over the ingested stream
 	Updates  uint64  // stream updates ingested
+	Version  uint64  // dataset version: ingest batches applied (see package doc)
 	Counts   []int64 // dense frequency vector, padded to ℓ^d ≥ Universe
 }
 
@@ -81,7 +97,8 @@ func Encode(c *Checkpoint) []byte {
 	binary.LittleEndian.PutUint64(out[16:], c.Modulus)
 	binary.LittleEndian.PutUint64(out[24:], uint64(c.Total))
 	binary.LittleEndian.PutUint64(out[32:], c.Updates)
-	binary.LittleEndian.PutUint64(out[40:], uint64(len(c.Counts)))
+	binary.LittleEndian.PutUint64(out[40:], c.Version)
+	binary.LittleEndian.PutUint64(out[48:], uint64(len(c.Counts)))
 	off := headerSize
 	for _, v := range c.Counts {
 		binary.LittleEndian.PutUint64(out[off:], uint64(v))
@@ -96,14 +113,22 @@ func Encode(c *Checkpoint) []byte {
 // match (ErrModulus otherwise). Decode never allocates more than the
 // input's own size, so it is safe on untrusted bytes.
 func Decode(b []byte, wantModulus uint64) (*Checkpoint, error) {
-	if len(b) < headerSize+crcSize {
-		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(b), headerSize+crcSize)
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(b), headerSizeLegacy+crcSize)
 	}
 	if [7]byte(b[:7]) != [7]byte(magic[:7]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if b[7] != version {
-		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrVersion, b[7], version)
+	hdr := headerSize
+	switch b[7] {
+	case version:
+	case versionLegacy:
+		hdr = headerSizeLegacy
+	default:
+		return nil, fmt.Errorf("%w: version %d, this build reads %d–%d", ErrVersion, b[7], versionLegacy, version)
+	}
+	if len(b) < hdr+crcSize {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(b), hdr+crcSize)
 	}
 	body, crc := b[:len(b)-crcSize], binary.LittleEndian.Uint32(b[len(b)-crcSize:])
 	if got := crc32.Checksum(body, castagnoli); got != crc {
@@ -115,9 +140,17 @@ func Decode(b []byte, wantModulus uint64) (*Checkpoint, error) {
 		Total:    int64(binary.LittleEndian.Uint64(b[24:])),
 		Updates:  binary.LittleEndian.Uint64(b[32:]),
 	}
-	nCounts := binary.LittleEndian.Uint64(b[40:])
-	if want := uint64(len(body) - headerSize); nCounts*8 != want || nCounts > want {
-		return nil, fmt.Errorf("%w: %d counts in a %d-byte body", ErrCorrupt, nCounts, len(body)-headerSize)
+	countsAt := hdr - 8
+	if b[7] == versionLegacy {
+		// Format 1 stored no version; Updates is a safe monotone stand-in
+		// (see the package doc).
+		c.Version = c.Updates
+	} else {
+		c.Version = binary.LittleEndian.Uint64(b[40:])
+	}
+	nCounts := binary.LittleEndian.Uint64(b[countsAt:])
+	if want := uint64(len(body) - hdr); nCounts*8 != want || nCounts > want {
+		return nil, fmt.Errorf("%w: %d counts in a %d-byte body", ErrCorrupt, nCounts, len(body)-hdr)
 	}
 	if c.Universe > nCounts {
 		return nil, fmt.Errorf("%w: universe %d exceeds table length %d", ErrCorrupt, c.Universe, nCounts)
@@ -126,7 +159,7 @@ func Decode(b []byte, wantModulus uint64) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%w: file has p=%d, engine has p=%d", ErrModulus, c.Modulus, wantModulus)
 	}
 	c.Counts = make([]int64, nCounts)
-	off := headerSize
+	off := hdr
 	for i := range c.Counts {
 		c.Counts[i] = int64(binary.LittleEndian.Uint64(b[off:]))
 		off += 8

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -17,6 +19,7 @@ func sample() *Checkpoint {
 		Modulus:  (1 << 61) - 1,
 		Total:    1234,
 		Updates:  99,
+		Version:  17,
 		Counts:   counts,
 	}
 }
@@ -24,7 +27,8 @@ func sample() *Checkpoint {
 func sameCheckpoint(t *testing.T, got, want *Checkpoint) {
 	t.Helper()
 	if got.Universe != want.Universe || got.Modulus != want.Modulus ||
-		got.Total != want.Total || got.Updates != want.Updates {
+		got.Total != want.Total || got.Updates != want.Updates ||
+		got.Version != want.Version {
 		t.Fatalf("header round-trip: got %+v, want %+v", got, want)
 	}
 	if len(got.Counts) != len(want.Counts) {
@@ -142,6 +146,30 @@ func TestDecodeCountsLengthMismatch(t *testing.T) {
 	}
 }
 
+// TestDecodeLegacyV1: a format-1 file (no dataset-version field) still
+// loads, reporting Version = Updates — the monotone-safe stand-in that
+// keeps recovered cache keys fresh.
+func TestDecodeLegacyV1(t *testing.T) {
+	want := sample()
+	v2 := Encode(want)
+	// Rebuild the same checkpoint in the v1 layout: drop the version
+	// field (bytes [40,48)), stamp format byte 1, re-checksum.
+	v1 := append([]byte(nil), v2[:40]...)
+	v1 = append(v1, v2[48:len(v2)-crcSize]...)
+	v1[7] = versionLegacy
+	crc := crc32.Checksum(v1, castagnoli)
+	v1 = binary.LittleEndian.AppendUint32(v1, crc)
+	got, err := Decode(v1, want.Modulus)
+	if err != nil {
+		t.Fatalf("Decode of a v1 file: %v", err)
+	}
+	if got.Version != want.Updates {
+		t.Fatalf("v1 Version = %d, want Updates = %d", got.Version, want.Updates)
+	}
+	want.Version = want.Updates
+	sameCheckpoint(t, got, want)
+}
+
 // FuzzLoadCheckpoint: Decode must never panic on arbitrary bytes, and
 // anything it accepts must re-encode to a decodable checkpoint with the
 // same contents.
@@ -164,7 +192,7 @@ func FuzzLoadCheckpoint(f *testing.F) {
 			t.Fatalf("re-encode of an accepted checkpoint rejected: %v", err)
 		}
 		if c2.Universe != c.Universe || c2.Modulus != c.Modulus || c2.Total != c.Total ||
-			c2.Updates != c.Updates || len(c2.Counts) != len(c.Counts) {
+			c2.Updates != c.Updates || c2.Version != c.Version || len(c2.Counts) != len(c.Counts) {
 			t.Fatal("re-encode round-trip drifted")
 		}
 	})

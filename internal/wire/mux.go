@@ -157,6 +157,12 @@ func (m *connMux) dispatch(typ byte, payload []byte, ds *engine.Dataset, st conn
 	if typ == frameQueryCh {
 		return m.open(id, rest, ds, st)
 	}
+	if typ == frameProofReqCh {
+		// Proof fetches are one-shot request/response: no channel state is
+		// registered, the reply (or a per-channel error) is the whole
+		// exchange. See proof.go.
+		return m.proofFetch(id, rest, ds, st)
+	}
 	m.mu.Lock()
 	mc := m.chans[id]
 	if mc != nil && typ == frameFinishCh && !mc.released {
@@ -353,13 +359,36 @@ func (c *Client) QueryAsync(kind QueryKind, params QueryParams, v core.VerifierS
 	}
 	c.cmu.Unlock()
 
+	h, err := c.newHandle(v)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.write(frameQueryCh, encodeChannel(h.id, encodeQuery(kind, params))); err != nil {
+		c.unregister(h.id)
+		return nil, err
+	}
+	go h.run()
+	return h, nil
+}
+
+// Wait blocks until the conversation completes and returns its cost
+// accounting. A nil error means the verifier accepted; results are read
+// from the concrete verifier session afterwards.
+func (h *QueryHandle) Wait() (core.Stats, error) {
+	<-h.done
+	return h.stats, h.err
+}
+
+// newHandle allocates a channel id and registers a handle on it, so the
+// demux reader routes that channel's frames to it. Channel ids are
+// client-allocated, nonzero, and never reused while live (the counter
+// would have to lap a still-open conversation).
+func (c *Client) newHandle(v core.VerifierSession) (*QueryHandle, error) {
 	c.mu.Lock()
 	if c.readErr != nil {
 		c.mu.Unlock()
 		return nil, c.termErr()
 	}
-	// Channel ids are client-allocated, nonzero, and never reused while
-	// live (the counter would have to lap a still-open conversation).
 	for {
 		c.nextCh++
 		if c.nextCh == 0 {
@@ -378,21 +407,7 @@ func (c *Client) QueryAsync(kind QueryKind, params QueryParams, v core.VerifierS
 	}
 	c.handles[h.id] = h
 	c.mu.Unlock()
-
-	if err := c.write(frameQueryCh, encodeChannel(h.id, encodeQuery(kind, params))); err != nil {
-		c.unregister(h.id)
-		return nil, err
-	}
-	go h.run()
 	return h, nil
-}
-
-// Wait blocks until the conversation completes and returns its cost
-// accounting. A nil error means the verifier accepted; results are read
-// from the concrete verifier session afterwards.
-func (h *QueryHandle) Wait() (core.Stats, error) {
-	<-h.done
-	return h.stats, h.err
 }
 
 func (c *Client) unregister(id uint32) {
@@ -458,28 +473,39 @@ func (h *QueryHandle) converse() error {
 	return err
 }
 
-// msg waits for the next prover message on this channel, honoring the
-// client timeout. srvDead reports that the server ended the channel
-// (error or budget frame), so no finish frame should follow.
-func (h *QueryHandle) msg() (m core.Msg, srvDead bool, err error) {
+// frame waits for the next raw frame on this channel, honoring the
+// client timeout — shared by the conversation path (msg) and the
+// one-shot proof fetch (see proof.go).
+func (h *QueryHandle) frame() (muxFrame, error) {
 	var timeout <-chan time.Time
 	if h.c.Timeout > 0 {
 		t := time.NewTimer(h.c.Timeout)
 		defer t.Stop()
 		timeout = t.C
 	}
-	var fr muxFrame
 	select {
-	case fr = <-h.in:
+	case fr := <-h.in:
+		return fr, nil
 	case <-h.c.readerDone:
 		select {
-		case fr = <-h.in:
+		case fr := <-h.in:
+			return fr, nil
 		default:
-			return core.Msg{}, false, h.c.termErr()
+			return muxFrame{}, h.c.termErr()
 		}
 	case <-timeout:
 		h.c.conn.Close()
-		return core.Msg{}, false, fmt.Errorf("%w: no prover message within %v", ErrTimeout, h.c.Timeout)
+		return muxFrame{}, fmt.Errorf("%w: no server frame within %v", ErrTimeout, h.c.Timeout)
+	}
+}
+
+// msg waits for the next prover message on this channel. srvDead
+// reports that the server ended the channel (error or budget frame), so
+// no finish frame should follow.
+func (h *QueryHandle) msg() (m core.Msg, srvDead bool, err error) {
+	fr, err := h.frame()
+	if err != nil {
+		return core.Msg{}, false, err
 	}
 	switch fr.typ {
 	case frameProverCh:

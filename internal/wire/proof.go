@@ -1,0 +1,215 @@
+// Non-interactive replay over the wire: the PROOF frame pair.
+//
+// A proof request (frameProofReqCh) names a query and a dataset version
+// (0 = current); the server answers with the posted Fiat–Shamir proof
+// for that (dataset, version, query) — generated once, cached in a
+// byte-budgeted LRU (internal/proofcache), and served to every verifier
+// that asks. k concurrent verifiers of one query cost one prover run:
+// the cache single-flights concurrent misses, so fan-out reads are
+// cache hits rather than k interactive conversations.
+//
+// The exchange is one-shot request/response on an ordinary mux channel
+// id: no channel state is registered on either side, errors travel as
+// the usual per-channel error/budget frames, and the connection's other
+// conversations and ingestion continue around it. Only the v2
+// named-dataset flow posts proofs — a v1 private dataset has no stable
+// identity to key the shared cache with.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fs"
+	"repro/internal/proofcache"
+)
+
+// DefaultProofCacheBudget is the proof-cache byte cap applied when
+// Server.ProofCacheBudget is zero. Proofs are O(log u · log n) words, so
+// this holds tens of thousands of distinct (version, query) entries.
+const DefaultProofCacheBudget = 64 << 20
+
+// encodeProofReq lays out a proof request: the requested dataset
+// version (0 = current), then the query block in the query-frame
+// layout.
+func encodeProofReq(version uint64, kind QueryKind, p QueryParams) []byte {
+	out := make([]byte, 8, 8+1+8*4+len(p.Circuit))
+	binary.LittleEndian.PutUint64(out, version)
+	return append(out, encodeQuery(kind, p)...)
+}
+
+func decodeProofReq(b []byte) (version uint64, kind QueryKind, p QueryParams, err error) {
+	if len(b) < 8 {
+		return 0, 0, QueryParams{}, fmt.Errorf("%w: proof request of %d bytes", ErrProtocol, len(b))
+	}
+	version = binary.LittleEndian.Uint64(b)
+	kind, p, err = decodeQuery(b[8:])
+	return version, kind, p, err
+}
+
+// ---------------------------------------------------------------------
+// Server side
+
+// proofCacheRef returns the shared proof cache, creating it on first
+// use.
+func (s *Server) proofCacheRef() *proofcache.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.proofCache == nil {
+		budget := s.ProofCacheBudget
+		if budget == 0 {
+			budget = DefaultProofCacheBudget
+		}
+		s.proofCache = proofcache.New(budget)
+	}
+	return s.proofCache
+}
+
+// ServerStats is a point-in-time snapshot of the server's operational
+// counters.
+type ServerStats struct {
+	ProofCache proofcache.Stats
+}
+
+// Stats returns the server's counters — chiefly the proof cache's
+// hit/miss/eviction/coalescing accounting.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{ProofCache: s.proofCacheRef().Stats()}
+}
+
+// proofFetch serves one PROOF request. The snapshot is taken
+// synchronously in the read loop — same arrival-order guarantee as a
+// query open: the proof covers exactly the batches acknowledged before
+// the request. Cache lookup and (on a miss) proof generation then run
+// in their own goroutine, so a miss never stalls the connection's other
+// traffic.
+func (m *connMux) proofFetch(id uint32, body []byte, ds *engine.Dataset, st connState) error {
+	version, kind, params, err := decodeProofReq(body)
+	if err != nil {
+		return err
+	}
+	if st != connV2 {
+		// A v1 private dataset is anonymous: distinct connections' data
+		// would collide under one cache key. Interactive queries remain
+		// available; refuse just this channel.
+		return m.write(frameErrorCh, encodeChannel(id, []byte("proof fetch requires a named dataset")))
+	}
+	snap, err := ds.SnapshotErr()
+	if err != nil {
+		if errors.Is(err, engine.ErrBudget) {
+			return m.write(frameBudgetCh, encodeChannel(id, []byte(err.Error())))
+		}
+		return err
+	}
+	if version != 0 && version != snap.Version() {
+		// The server can only prove the present: earlier versions' counts
+		// are gone. A pinned-version request that no longer matches is the
+		// client's signal to re-fingerprint.
+		return m.write(frameErrorCh, encodeChannel(id, fmt.Appendf(nil,
+			"proof version %d is not current (dataset %q is at version %d)", version, ds.Name(), snap.Version())))
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		key := proofcache.Key{
+			Dataset: ds.Name(),
+			Version: snap.Version(),
+			Query:   string(engine.FSQuery(kind, params).Encode()),
+		}
+		val, err := m.s.proofCacheRef().Get(key, func() ([]byte, error) {
+			pf, err := snap.GenerateProof(kind, params)
+			if err != nil {
+				return nil, err
+			}
+			return pf.Encode(), nil
+		})
+		if err != nil {
+			typ := byte(frameErrorCh)
+			if errors.Is(err, engine.ErrBudget) {
+				typ = frameBudgetCh
+			}
+			_ = m.write(typ, encodeChannel(id, []byte(err.Error())))
+			return
+		}
+		_ = m.write(frameProofCh, encodeChannel(id, val))
+	}()
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Client side
+
+// FetchProof retrieves the server's posted Fiat–Shamir proof for one
+// query. version pins the dataset version the proof must cover (the
+// request fails if ingestion has moved past it); 0 accepts the current
+// version. The returned proof carries the version it was generated at
+// in its binding. Requires the v2 named-dataset flow.
+func (c *Client) FetchProof(kind QueryKind, params QueryParams, version uint64) (*fs.Proof, error) {
+	if kind == QueryCircuit && len(params.Circuit) > maxCircuitName {
+		return nil, fmt.Errorf("wire: circuit name of %d bytes exceeds %d", len(params.Circuit), maxCircuitName)
+	}
+	c.cmu.Lock()
+	mode := c.mode
+	c.cmu.Unlock()
+	if mode != modeV2 {
+		return nil, fmt.Errorf("wire: FetchProof requires a named dataset (use OpenDataset)")
+	}
+	h, err := c.newHandle(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(h.id)
+	if err := c.write(frameProofReqCh, encodeChannel(h.id, encodeProofReq(version, kind, params))); err != nil {
+		return nil, err
+	}
+	fr, err := h.frame()
+	if err != nil {
+		return nil, err
+	}
+	switch fr.typ {
+	case frameProofCh:
+		return fs.DecodeProof(fr.payload)
+	case frameBudgetCh:
+		return nil, fmt.Errorf("%w: %s", ErrBudget, fr.payload)
+	case frameErrorCh:
+		return nil, fmt.Errorf("wire: server error: %s", fr.payload)
+	default:
+		return nil, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, fr.typ)
+	}
+}
+
+// QueryCached runs one query non-interactively: fetch the posted proof
+// (version as in FetchProof), build a verifier from the proof's binding
+// via mkVerifier, and verify the recorded conversation offline —
+// results are then read from the concrete verifier session, exactly as
+// after an interactive Query.
+//
+// mkVerifier must return a verifier constructed with binding.RNG()
+// whose streamed fingerprint covers the client's own view of the data
+// (engine.NewStreamVerifier plus replaying the client's held updates):
+// acceptance then certifies the server's answer against the client's
+// fingerprint at that version, with no interaction and no per-verifier
+// prover work on the server.
+func (c *Client) QueryCached(kind QueryKind, params QueryParams, version uint64,
+	mkVerifier func(fs.Binding) (core.VerifierSession, error)) (*fs.Proof, core.Stats, error) {
+	pf, err := c.FetchProof(kind, params, version)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	v, err := mkVerifier(pf.Binding)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	var st core.Stats
+	for _, msg := range pf.Messages {
+		st.Rounds++
+		st.WordsToVerifier += msg.Words()
+	}
+	if err := pf.Binding.Verify(pf, v); err != nil {
+		return pf, st, err
+	}
+	return pf, st, nil
+}

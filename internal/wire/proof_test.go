@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/fs"
+	"repro/internal/stream"
+)
+
+// streamedVerifier builds the offline verifier for a fetched proof: the
+// session from the proof's binding RNG, fed the client's own copy of
+// the updates.
+func streamedVerifier(t *testing.T, b fs.Binding, kind QueryKind, params QueryParams, ups []stream.Update) engine.StreamVerifier {
+	t.Helper()
+	v, err := engine.NewStreamVerifier(f61, b.Universe, kind, params, b.RNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range ups {
+		if err := v.Observe(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+// TestProofFetchRoundTrip: a v2 client uploads, fetches the posted
+// proof, and verifies it offline against its own streamed fingerprint.
+// A second fetch is a cache hit serving bit-identical bytes.
+func TestProofFetchRoundTrip(t *testing.T) {
+	srv := &Server{F: f61}
+	addr, stop := startServerOpts(t, srv)
+	defer stop()
+
+	const u = 1 << 10
+	ups := stream.UniformDeltas(u, 200, field.NewSplitMix64(90))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.OpenDataset("metrics", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+
+	pf, err := c.FetchProof(QuerySelfJoinSize, QueryParams{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Dataset != "metrics" || pf.Version == 0 {
+		t.Fatalf("proof binding %+v", pf.Binding)
+	}
+	v := streamedVerifier(t, pf.Binding, QuerySelfJoinSize, QueryParams{}, ups)
+	if err := pf.Binding.Verify(pf, v); err != nil {
+		t.Fatalf("offline verification rejected the fetched proof: %v", err)
+	}
+
+	// Fetching again (pinned to the proof's version) is a cache hit and
+	// returns the same bytes.
+	pf2, err := c.FetchProof(QuerySelfJoinSize, QueryParams{}, pf.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pf.Encode(), pf2.Encode()) {
+		t.Fatal("second fetch returned different proof bytes")
+	}
+	st := srv.Stats().ProofCache
+	if st.Misses != 1 || st.Hits < 1 {
+		t.Fatalf("cache stats %+v, want 1 miss and ≥1 hit", st)
+	}
+
+	// QueryCached wraps fetch+verify and surfaces the cost accounting.
+	pf3, stats, err := c.QueryCached(QuerySelfJoinSize, QueryParams{}, 0,
+		func(b fs.Binding) (core.VerifierSession, error) {
+			return streamedVerifier(t, b, QuerySelfJoinSize, QueryParams{}, ups), nil
+		})
+	if err != nil {
+		t.Fatalf("QueryCached: %v", err)
+	}
+	if stats.Rounds != len(pf3.Messages) || stats.WordsToVerifier == 0 {
+		t.Fatalf("stats %+v for %d messages", stats, len(pf3.Messages))
+	}
+}
+
+// TestProofFetchInvalidation: ingest between two fetches rotates the
+// version key — the second proof differs, verifies against the union of
+// the updates, and a fetch pinned to the stale version is refused.
+func TestProofFetchInvalidation(t *testing.T) {
+	srv := &Server{F: f61}
+	addr, stop := startServerOpts(t, srv)
+	defer stop()
+
+	const u = 512
+	ups1 := stream.UnitIncrements(u, 100, field.NewSplitMix64(91))
+	ups2 := stream.UnitIncrements(u, 60, field.NewSplitMix64(92))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.OpenDataset("inv", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ups1); err != nil {
+		t.Fatal(err)
+	}
+	pf1, err := c.FetchProof(QueryRangeSum, QueryParams{A: 3, B: 400}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ups2); err != nil {
+		t.Fatal(err)
+	}
+	pf2, err := c.FetchProof(QueryRangeSum, QueryParams{A: 3, B: 400}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf1.Version == pf2.Version {
+		t.Fatalf("ingest did not rotate the proof version (%d)", pf1.Version)
+	}
+	if bytes.Equal(pf1.Encode(), pf2.Encode()) {
+		t.Fatal("proofs at different versions are identical")
+	}
+	all := append(append([]stream.Update{}, ups1...), ups2...)
+	v := streamedVerifier(t, pf2.Binding, QueryRangeSum, QueryParams{A: 3, B: 400}, all)
+	if err := pf2.Binding.Verify(pf2, v); err != nil {
+		t.Fatalf("post-ingest proof rejected: %v", err)
+	}
+
+	// A fetch pinned to the superseded version is refused, not silently
+	// served stale.
+	if _, err := c.FetchProof(QueryRangeSum, QueryParams{A: 3, B: 400}, pf1.Version); err == nil ||
+		!strings.Contains(err.Error(), "not current") {
+		t.Fatalf("stale pinned fetch: err = %v, want version refusal", err)
+	}
+}
+
+// TestProofBitFlipSweep flips one bit in every byte of a wire-fetched
+// proof; each mutant must fail decoding or offline verification. The
+// query carries a nonzero Phi so no byte of the descriptor is
+// flip-degenerate (0.0 and -0.0 compare equal as floats).
+func TestProofBitFlipSweep(t *testing.T) {
+	srv := &Server{F: f61}
+	addr, stop := startServerOpts(t, srv)
+	defer stop()
+
+	const u = 64
+	ups := stream.UnitIncrements(u, 40, field.NewSplitMix64(93))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.OpenDataset("flip", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	kind, params := QueryKind(QueryHeavyHitters), QueryParams{Phi: 0.05}
+	pf, err := c.FetchProof(kind, params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := pf.Encode()
+	want := pf.Binding
+	if err := want.Verify(pf, streamedVerifier(t, want, kind, params, ups)); err != nil {
+		t.Fatalf("pristine proof rejected: %v", err)
+	}
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 1 << bit
+			got, err := fs.DecodeProof(mut)
+			if err != nil {
+				continue // malformed: rejected at the codec
+			}
+			v := streamedVerifier(t, want, kind, params, ups)
+			if err := want.Verify(got, v); err == nil {
+				t.Fatalf("flipping bit %d of byte %d/%d went undetected", bit, i, len(enc))
+			}
+		}
+	}
+}
+
+// TestProofFanoutCoalesce: k concurrent verifiers fetching one query
+// cost the server one prover run — every other request is a cache hit
+// (coalesced into the in-flight generation or served after it).
+func TestProofFanoutCoalesce(t *testing.T) {
+	srv := &Server{F: f61}
+	addr, stop := startServerOpts(t, srv)
+	defer stop()
+
+	const u = 1 << 12
+	const k = 8
+	ups := stream.UniformDeltas(u, 500, field.NewSplitMix64(94))
+	up, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := up.OpenDataset("fan", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := up.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	up.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	proofs := make([]*fs.Proof, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			if _, err := c.OpenDataset("fan", u); err != nil {
+				errs[i] = err
+				return
+			}
+			proofs[i], errs[i] = c.FetchProof(QuerySelfJoinSize, QueryParams{}, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("verifier %d: %v", i, err)
+		}
+	}
+	first := proofs[0].Encode()
+	for i, pf := range proofs {
+		if !bytes.Equal(first, pf.Encode()) {
+			t.Fatalf("verifier %d received different proof bytes", i)
+		}
+	}
+	v := streamedVerifier(t, proofs[0].Binding, QuerySelfJoinSize, QueryParams{}, ups)
+	if err := proofs[0].Binding.Verify(proofs[0], v); err != nil {
+		t.Fatalf("fanout proof rejected: %v", err)
+	}
+	st := srv.Stats().ProofCache
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single-flight)", st.Misses)
+	}
+	if st.Hits < k-1 {
+		t.Fatalf("hits = %d, want ≥ %d", st.Hits, k-1)
+	}
+}
+
+// TestProofFetchV1Refused: the v1 private-dataset flow has no stable
+// cache identity; FetchProof is refused client-side before any frame.
+func TestProofFetchV1Refused(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61})
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EndStream(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchProof(QuerySelfJoinSize, QueryParams{}, 0); err == nil ||
+		!strings.Contains(err.Error(), "named dataset") {
+		t.Fatalf("v1 FetchProof: err = %v, want named-dataset refusal", err)
+	}
+}

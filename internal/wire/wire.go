@@ -54,11 +54,12 @@ import (
 	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/gkr"
+	"repro/internal/proofcache"
 	"repro/internal/stream"
 )
 
 // Frame types. Frames 0x01–0x0b are connection-scoped (the implicit
-// control channel); frames 0x0c–0x11 are the mux revision's
+// control channel); frames 0x0c–0x13 are the mux revision's
 // channel-scoped conversation frames, whose payload begins with a
 // uint32 channel id (see mux.go).
 const (
@@ -80,6 +81,9 @@ const (
 	frameFinishCh    = 0x0f // client→server: conversation over [ch]
 	frameErrorCh     = 0x10 // server→client: channel failed [ch][text]; connection survives
 	frameBudgetCh    = 0x11 // server→client: channel refused, budget/cap exhausted [ch][text]
+
+	frameProofReqCh = 0x12 // client→server: fetch the posted proof [ch][version][query]
+	frameProofCh    = 0x13 // server→client: encoded Fiat–Shamir proof [ch][proof]
 )
 
 // QueryKind enumerates the queries the server answers; the values live in
@@ -383,20 +387,27 @@ type Server struct {
 	// that interval (requires DataDir): a crash loses at most the last
 	// interval of ingestion. Zero disables background checkpointing.
 	CheckpointEvery time.Duration
+	// ProofCacheBudget caps the bytes of encoded Fiat–Shamir proofs the
+	// server keeps for PROOF requests (see proof.go): one proof is
+	// generated per (dataset, version, query) and served to every
+	// verifier that asks. Zero selects DefaultProofCacheBudget; negative
+	// disables storage (requests still single-flight, nothing is kept).
+	ProofCacheBudget int64
 	// Corrupt, when non-nil, rewrites a clone of the maintained counts
 	// before proving — a hook for the dishonest-cloud experiments and
 	// tests. It applies to v1 connections only and costs O(u), not
 	// O(stream): no raw stream is retained anywhere in the server.
 	Corrupt func(counts []int64) []int64
 
-	mu        sync.Mutex
-	lns       map[net.Listener]struct{} // every listener currently being served
-	closed    bool
-	inited    bool                  // engine configured (budget/data dir/recovery) by Serve
-	ownEngine bool                  // engine was created by this server (Close may close it)
-	v1Alive   int                   // v1 connections currently holding a private dataset
-	conns     map[net.Conn]struct{} // connections with a live handler
-	handlers  sync.WaitGroup        // one per handler goroutine; drained by Close
+	proofCache *proofcache.Cache // lazily built by proofCacheRef; guarded by mu
+	mu         sync.Mutex
+	lns        map[net.Listener]struct{} // every listener currently being served
+	closed     bool
+	inited     bool                  // engine configured (budget/data dir/recovery) by Serve
+	ownEngine  bool                  // engine was created by this server (Close may close it)
+	v1Alive    int                   // v1 connections currently holding a private dataset
+	conns      map[net.Conn]struct{} // connections with a live handler
+	handlers   sync.WaitGroup        // one per handler goroutine; drained by Close
 }
 
 // Serve accepts connections until the listener closes. Each connection is
@@ -776,7 +787,7 @@ func (s *Server) handle(conn net.Conn) error {
 			if err := s.converse(conn, mux, session); err != nil {
 				return err
 			}
-		case frameQueryCh, frameChallengeCh, frameFinishCh:
+		case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh:
 			if err := mux.dispatch(typ, payload, ds, st); err != nil {
 				return err
 			}
@@ -1090,7 +1101,7 @@ func (c *Client) readLoop() {
 			return
 		}
 		switch typ {
-		case frameProverCh, frameErrorCh, frameBudgetCh:
+		case frameProverCh, frameErrorCh, frameBudgetCh, frameProofCh:
 			id, rest, err := decodeChannel(payload)
 			if err != nil {
 				c.failReader(err)

@@ -118,6 +118,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/field"
+	"repro/internal/fs"
 	"repro/internal/gkr"
 	"repro/internal/stream"
 )
@@ -232,6 +233,56 @@ const (
 	QueryFmax         = engine.QueryFmax
 	QueryCircuit      = engine.QueryCircuit
 )
+
+// ---------------------------------------------------------------------
+// Non-interactive replay (Fiat–Shamir proof cache)
+//
+// Interactive conversations cost the server one prover run per
+// verifier. The replay layer instead posts ONE proof per
+// (dataset, version, query): the verifier's challenges are derived
+// deterministically from a transcript hash over the proof's binding
+// (field modulus, universe, dataset name, dataset version, query), so
+// any client that agrees on the binding re-derives the same challenges,
+// replays the recorded conversation through its own verifier session,
+// and accepts or rejects offline. The wire server caches these proofs
+// (wire.Server.ProofCacheBudget, internal/proofcache) and serves k
+// concurrent verifiers of one query with one prover run
+// (wire.Client.FetchProof / QueryCached, sipclient -cached). See
+// DESIGN.md, "Transcript-hash schedule", for the absorption order and
+// the soundness model.
+
+// Proof is one recorded Fiat–Shamir conversation: binding, prover
+// messages, transcript digest.
+type Proof = fs.Proof
+
+// ProofBinding names what a proof commits to; both ends derive the
+// verifier's challenge randomness from it (ProofBinding.RNG).
+type ProofBinding = fs.Binding
+
+// ProofQuery is the canonical query descriptor inside a binding.
+type ProofQuery = fs.Query
+
+// StreamVerifier is a verifier session that also observes stream
+// updates — what a client keeps for offline proof verification.
+type StreamVerifier = engine.StreamVerifier
+
+// NewQueryVerifier returns the streaming verifier session for one query
+// kind over [0, u) with no observed state. For offline verification,
+// build it with the proof binding's RNG, Observe your own copy of the
+// stream, then call VerifyProof.
+func NewQueryVerifier(f Field, u uint64, kind QueryKind, params QueryParams, rng RNG) (StreamVerifier, error) {
+	return engine.NewStreamVerifier(f, u, kind, params, rng)
+}
+
+// DecodeProof parses an encoded proof, rejecting malformed input.
+func DecodeProof(b []byte) (*Proof, error) { return fs.DecodeProof(b) }
+
+// VerifyProof replays a posted proof against v, which must have been
+// built from pf.Binding.RNG() and observed the client's own view of the
+// stream. A nil error certifies the recorded answer against the
+// client's fingerprint at the proof's dataset version; any flipped bit
+// in the proof fails.
+func VerifyProof(pf *Proof, v VerifierSession) error { return pf.Binding.Verify(pf, v) }
 
 // ---------------------------------------------------------------------
 // GKR / circuit workload (Theorem 3, Appendix A)
