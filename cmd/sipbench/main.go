@@ -111,6 +111,7 @@ func fanout(f field.Field, seed uint64, maxK int) error {
 		return err
 	}
 	defer cl.Close()
+	cl.FieldModulus = f.Modulus()
 
 	kind, params := wire.QuerySelfJoinSize, wire.QueryParams{}
 	fmt.Printf("%6s %14s %14s %10s %12s\n", "k", "interactive", "cached", "speedup", "hits/misses")

@@ -172,6 +172,7 @@ func main() {
 		log.Fatalf("dial: %v", err)
 	}
 	defer client.Close()
+	client.FieldModulus = f.Modulus()
 	if *dataset != "" {
 		prior, err := client.OpenDataset(*dataset, u)
 		check(err)

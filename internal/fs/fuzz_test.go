@@ -2,6 +2,7 @@ package fs_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/core"
@@ -26,6 +27,7 @@ func FuzzDecodeProof(fz *testing.F) {
 	fz.Add(small.Encode())
 	fz.Add(small.Encode()[:10])
 	fz.Add([]byte("SIPPF1"))
+	fz.Add(wordCountWrapPayload())
 	fz.Fuzz(func(t *testing.T, data []byte) {
 		pf, err := fs.DecodeProof(data)
 		if err != nil {
@@ -39,4 +41,39 @@ func FuzzDecodeProof(fz *testing.F) {
 			t.Fatalf("EncodedSize %d != %d", pf.EncodedSize(), len(re))
 		}
 	})
+}
+
+// wordCountWrapPayload builds a proof whose message vector lengths sum
+// past 2^64: a first vector of 1 word followed by one claiming 2^64-1,
+// so a naive accumulator wraps to 0 and a naive int(n)*8 goes negative.
+func wordCountWrapPayload() []byte {
+	b := []byte("SIPPF1")
+	put := func(v uint64) {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], v)
+		b = append(b, w[:]...)
+	}
+	put(7)        // modulus
+	put(4)        // universe
+	put(1)        // version
+	b = append(b, 0) // empty dataset name
+	b = append(b, 2) // query kind
+	put(0)           // A
+	put(0)           // B
+	put(0)           // K
+	put(0)           // Phi
+	put(0)           // circuit name length
+	put(1)           // message count
+	put(1)           // ints length
+	put(42)          // the one int
+	put(^uint64(0))  // elems length 2^64-1: wraps the word accumulator
+	return b
+}
+
+// TestDecodeProofWordCountWrap pins the uint64-wrap rejection: the
+// crafted payload must fail cleanly instead of panicking in makeslice.
+func TestDecodeProofWordCountWrap(t *testing.T) {
+	if _, err := fs.DecodeProof(wordCountWrapPayload()); err == nil {
+		t.Fatal("DecodeProof accepted a word count that wraps uint64")
+	}
 }

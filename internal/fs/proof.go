@@ -289,9 +289,13 @@ func DecodeProof(b []byte) (*Proof, error) {
 			return nil, err
 		}
 		n := take()
-		if words += n; words > maxProofWords {
+		// Bound n before accumulating: words += n could wrap uint64 and
+		// slip past the budget check, and int(n)*8 below must not
+		// overflow. After this check n ≤ maxProofWords, so both are safe.
+		if n > maxProofWords || words+n > maxProofWords {
 			return nil, errors.New("fs: proof word count overflows limit")
 		}
+		words += n
 		if err := need(int(n) * 8); err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ package proofcache
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 )
 
@@ -88,22 +89,30 @@ func (c *Cache) Get(k Key, compute func() ([]byte, error)) ([]byte, error) {
 		<-fl.done
 		return fl.val, fl.err
 	}
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{done: make(chan struct{}), err: errComputePanicked}
 	c.inflight[k] = fl
 	c.stats.Misses++
 	c.mu.Unlock()
 
+	// Release the waiters and the inflight slot even if compute panics:
+	// fl.err stays errComputePanicked for them, and the panic continues
+	// up through this caller after the cleanup.
+	defer func() {
+		close(fl.done)
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if fl.err == nil {
+			c.insertLocked(k, fl.val)
+		}
+		c.mu.Unlock()
+	}()
 	fl.val, fl.err = compute()
-	close(fl.done)
-
-	c.mu.Lock()
-	delete(c.inflight, k)
-	if fl.err == nil {
-		c.insertLocked(k, fl.val)
-	}
-	c.mu.Unlock()
 	return fl.val, fl.err
 }
+
+// errComputePanicked is what coalesced waiters receive when the caller
+// running compute panicked out of Get before producing a result.
+var errComputePanicked = errors.New("proofcache: compute panicked")
 
 // insertLocked stores val under k, evicting least-recently-used entries
 // until the budget holds. A value larger than the whole budget is not

@@ -85,6 +85,48 @@ func TestErrorsNotCached(t *testing.T) {
 	}
 }
 
+// TestComputePanicUnwedges pins the panic path: a compute that panics
+// must release its waiters with an error and leave the key usable, not
+// wedge every later Get behind a never-closed flight.
+func TestComputePanicUnwedges(t *testing.T) {
+	c := New(100)
+	k := key("a", 1, "q")
+	entered := make(chan struct{})
+	var waiterErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-entered
+		_, waiterErr = c.Get(k, func() ([]byte, error) { return []byte("late"), nil })
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate out of Get")
+			}
+		}()
+		c.Get(k, func() ([]byte, error) {
+			close(entered)
+			// Park until the waiter has joined the flight, so it exercises
+			// the coalesced path rather than computing itself.
+			for c.Stats().Coalesced == 0 {
+				runtime.Gosched()
+			}
+			panic("boom")
+		})
+	}()
+	wg.Wait()
+	if waiterErr == nil {
+		t.Fatal("coalesced waiter got a nil error from a panicked compute")
+	}
+	// The inflight slot is free again: a fresh Get computes and succeeds.
+	b, err := c.Get(k, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(b) != "ok" {
+		t.Fatalf("recovery get: %v %q", err, b)
+	}
+}
+
 func TestSingleFlight(t *testing.T) {
 	c := New(1 << 20)
 	const k = 50

@@ -147,12 +147,20 @@ func (m *connMux) proofFetch(id uint32, body []byte, ds *engine.Dataset, st conn
 // request fails if ingestion has moved past it); 0 accepts the current
 // version. The returned proof carries the version it was generated at
 // in its binding. Requires the v2 named-dataset flow.
+//
+// The proof's binding is validated against the request before it is
+// returned: dataset name and universe must match the attached dataset,
+// the query must be the canonical encoding of (kind, params), a nonzero
+// version must be echoed exactly, and — when Client.FieldModulus is set
+// — the modulus must match. The challenges a verifier derives from the
+// binding are therefore fixed by values the CLIENT chose; a malicious
+// server gets no grinding bits from the proof header.
 func (c *Client) FetchProof(kind QueryKind, params QueryParams, version uint64) (*fs.Proof, error) {
 	if kind == QueryCircuit && len(params.Circuit) > maxCircuitName {
 		return nil, fmt.Errorf("wire: circuit name of %d bytes exceeds %d", len(params.Circuit), maxCircuitName)
 	}
 	c.cmu.Lock()
-	mode := c.mode
+	mode, dsName, dsU := c.mode, c.dsName, c.dsU
 	c.cmu.Unlock()
 	if mode != modeV2 {
 		return nil, fmt.Errorf("wire: FetchProof requires a named dataset (use OpenDataset)")
@@ -171,7 +179,14 @@ func (c *Client) FetchProof(kind QueryKind, params QueryParams, version uint64) 
 	}
 	switch fr.typ {
 	case frameProofCh:
-		return fs.DecodeProof(fr.payload)
+		pf, err := fs.DecodeProof(fr.payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkProofBinding(pf, c.FieldModulus, dsName, dsU, version, kind, params); err != nil {
+			return nil, err
+		}
+		return pf, nil
 	case frameBudgetCh:
 		return nil, fmt.Errorf("%w: %s", ErrBudget, fr.payload)
 	case frameErrorCh:
@@ -179,6 +194,36 @@ func (c *Client) FetchProof(kind QueryKind, params QueryParams, version uint64) 
 	default:
 		return nil, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, fr.typ)
 	}
+}
+
+// checkProofBinding rejects a fetched proof whose binding does not match
+// the request it answers. Every field feeding the challenge derivation
+// is pinned to a client-chosen value: dataset and universe from
+// OpenDataset, the query from the request, the version when the caller
+// pinned one, and the modulus when the client declared its field. Only
+// an unpinned version (and, if FieldModulus is zero, the modulus) is
+// accepted from the server.
+func checkProofBinding(pf *fs.Proof, modulus uint64, dsName string, dsU, version uint64,
+	kind QueryKind, params QueryParams) error {
+	want := fs.Binding{
+		Modulus:  pf.Modulus,
+		Universe: dsU,
+		Dataset:  dsName,
+		Version:  pf.Version,
+		Query:    engine.FSQuery(kind, params),
+	}
+	if modulus != 0 {
+		want.Modulus = modulus
+	}
+	if version != 0 {
+		want.Version = version
+	}
+	if pf.Binding != want {
+		return fmt.Errorf("%w: proof binding (modulus %d, universe %d, dataset %q, version %d, query kind %d) does not answer the request (modulus %d, universe %d, dataset %q, version %d, query kind %d)",
+			ErrProtocol, pf.Modulus, pf.Binding.Universe, pf.Dataset, pf.Version, pf.Query.Kind,
+			want.Modulus, want.Universe, want.Dataset, want.Version, want.Query.Kind)
+	}
+	return nil
 }
 
 // QueryCached runs one query non-interactively: fetch the posted proof

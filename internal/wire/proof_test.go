@@ -260,6 +260,88 @@ func TestProofFanoutCoalesce(t *testing.T) {
 	}
 }
 
+// TestCheckProofBinding sweeps the client-side binding validation: a
+// fetched proof whose header disagrees with any client-pinned value —
+// dataset, universe, query, pinned version, declared modulus — is
+// rejected, so a malicious server gets no grinding bits from the fields
+// that feed the challenge derivation.
+func TestCheckProofBinding(t *testing.T) {
+	kind, params := QueryKind(QueryRangeSum), QueryParams{A: 3, B: 9}
+	good := fs.Binding{
+		Modulus:  f61.Modulus(),
+		Universe: 1024,
+		Dataset:  "d",
+		Version:  5,
+		Query:    engine.FSQuery(kind, params),
+	}
+	check := func(b fs.Binding, modulus, version uint64) error {
+		return checkProofBinding(&fs.Proof{Binding: b}, modulus, "d", 1024, version, kind, params)
+	}
+	if err := check(good, f61.Modulus(), 5); err != nil {
+		t.Fatalf("fully pinned honest binding rejected: %v", err)
+	}
+	if err := check(good, 0, 0); err != nil {
+		t.Fatalf("unpinned honest binding rejected: %v", err)
+	}
+	mutate := func(name string, f func(*fs.Binding)) {
+		b := good
+		f(&b)
+		if err := check(b, f61.Modulus(), 5); err == nil {
+			t.Errorf("%s: server-controlled binding accepted", name)
+		}
+	}
+	mutate("dataset", func(b *fs.Binding) { b.Dataset = "other" })
+	mutate("universe", func(b *fs.Binding) { b.Universe = 2048 })
+	mutate("query kind", func(b *fs.Binding) { b.Query.Kind++ })
+	mutate("query params", func(b *fs.Binding) { b.Query.B = 10 })
+	mutate("pinned version", func(b *fs.Binding) { b.Version = 6 })
+	mutate("pinned modulus", func(b *fs.Binding) { b.Modulus++ })
+	// Unpinned fields are the server's to assert: version floats when the
+	// caller passed 0, the modulus floats only when FieldModulus is 0.
+	offVersion := good
+	offVersion.Version = 9
+	if err := check(offVersion, f61.Modulus(), 0); err != nil {
+		t.Fatalf("unpinned version rejected: %v", err)
+	}
+	offModulus := good
+	offModulus.Modulus++
+	if err := check(offModulus, 0, 5); err != nil {
+		t.Fatalf("undeclared modulus rejected: %v", err)
+	}
+	if err := check(offModulus, f61.Modulus(), 5); err == nil {
+		t.Fatal("declared modulus not enforced")
+	}
+}
+
+// TestProofFieldModulusPinned: end to end, a client that declares its
+// field refuses a proof over any other — here by declaring a modulus the
+// server does not use.
+func TestProofFieldModulusPinned(t *testing.T) {
+	addr, stop := startServerOpts(t, &Server{F: f61})
+	defer stop()
+	const u = 64
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.FieldModulus = f61.Modulus() - 2 // disagree with the server's field
+	if _, err := c.OpenDataset("pin", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(stream.UnitIncrements(u, 10, field.NewSplitMix64(95))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchProof(QuerySelfJoinSize, QueryParams{}, 0); err == nil ||
+		!strings.Contains(err.Error(), "binding") {
+		t.Fatalf("mismatched modulus: err = %v, want binding rejection", err)
+	}
+	c.FieldModulus = f61.Modulus()
+	if _, err := c.FetchProof(QuerySelfJoinSize, QueryParams{}, 0); err != nil {
+		t.Fatalf("matching modulus rejected: %v", err)
+	}
+}
+
 // TestProofFetchV1Refused: the v1 private-dataset flow has no stable
 // cache identity; FetchProof is refused client-side before any frame.
 func TestProofFetchV1Refused(t *testing.T) {

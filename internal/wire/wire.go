@@ -1030,11 +1030,21 @@ type Client struct {
 	// unrecoverable. Set it before the first call; zero means no bound.
 	Timeout time.Duration
 
+	// FieldModulus is the field the client agreed on with the server
+	// out-of-band (the modulus it builds its own verifiers over). When
+	// nonzero, FetchProof rejects any proof whose binding names a
+	// different modulus — without it a malicious server could grind the
+	// challenge derivation over 2^64 modulus choices. Set it before the
+	// first FetchProof/QueryCached call; zero skips the check.
+	FieldModulus uint64
+
 	wmu sync.Mutex // serializes frame writes
 
 	cmu    sync.Mutex // serializes control-plane request/response pairs
 	mode   connMode   // guarded by cmu
 	v1Done bool       // v1 upload acked complete; guarded by cmu
+	dsName string     // dataset attached by OpenDataset; guarded by cmu
+	dsU    uint64     // its universe size (Open rejects a mismatch); guarded by cmu
 
 	mu      sync.Mutex // guards the demux state below
 	handles map[uint32]*QueryHandle
@@ -1289,6 +1299,10 @@ func (c *Client) OpenDataset(name string, u uint64) (uint64, error) {
 	count, err := c.readOK()
 	if err == nil {
 		c.mode = modeV2
+		// The server's engine refuses an open whose universe differs from
+		// the existing dataset's, so a successful open pins both: proofs
+		// fetched on this connection must carry exactly this identity.
+		c.dsName, c.dsU = name, u
 	}
 	return count, err
 }

@@ -250,6 +250,21 @@ const (
 // (wire.Client.FetchProof / QueryCached, sipclient -cached). See
 // DESIGN.md, "Transcript-hash schedule", for the absorption order and
 // the soundness model.
+//
+// SOUNDNESS CAVEAT — data must be committed first. The streaming
+// verifier samples all of its randomness up front, so the Fiat–Shamir
+// challenges here depend only on the public binding, not on the data or
+// the prover's messages, and the dataset version is a predictable
+// counter. A party that can choose what to ingest AFTER computing the
+// next version's challenge point could craft data that fools that
+// point. Replay proofs are therefore sound only in the model where
+// ingestion is committed before the proof at that version exists — the
+// engine enforces the version bump on ingest, but nothing in this API
+// can verify that the data itself was not chosen adversarially against
+// a precomputed challenge. Deployments where the data source is
+// untrusted should keep using interactive queries with a secret
+// CryptoRNG (Query/NewQueryVerifier), whose challenges the prover never
+// learns in advance.
 
 // Proof is one recorded Fiat–Shamir conversation: binding, prover
 // messages, transcript digest.
