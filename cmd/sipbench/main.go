@@ -18,6 +18,8 @@
 //	                                    # vs k serial on one connection
 //	sipbench -experiment fanout         # proof-cache fan-out: k verifiers of one
 //	                                    # query, cached replay vs interactive
+//	sipbench -experiment shard          # shard scaling: concurrent queries over
+//	                                    # S engine processes behind the router
 //	sipbench -experiment all
 //
 // -maxlogu bounds the sweeps (default 20 multi-round, 16 one-round; the
@@ -39,15 +41,17 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/field"
 	"repro/internal/gkrbench"
 	"repro/internal/harness"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig2a fig2b fig2c fig3a fig3b tamper branching gkr freq ipv6 mux fanout all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig2a fig2b fig2c fig3a fig3b tamper branching gkr freq ipv6 mux fanout shard all)")
 	maxLogU := flag.Int("maxlogu", 20, "largest log2(u) for multi-round sweeps")
 	maxLogUOne := flag.Int("maxlogu1", 16, "largest log2(u) for one-round sweeps (prover is Θ(u^{3/2}))")
 	span := flag.Uint64("span", 1000, "SUB-VECTOR query span (the paper uses 1000)")
@@ -81,6 +85,174 @@ func main() {
 	run("ipv6", func(f field.Field) error { return ipv6(f, *seed, *workers) })
 	run("mux", func(f field.Field) error { return mux(f, *seed) })
 	run("fanout", func(f field.Field) error { return fanout(f, *seed, *maxK) })
+	run("shard", func(f field.Field) error { return shardScale(f, *seed) })
+}
+
+// shard: horizontal scaling through the router — D datasets pinned
+// round-robin across S engine processes, each process capped at a
+// memory budget that holds only two datasets' field tables. One engine
+// under the working set thrashes its residency governor (every query
+// round evicts and rehydrates); sharding scales the aggregate budget
+// with S, so at S = 4 the whole working set is resident. The direct row
+// is the same batch against one engine with no router, so the S = 1
+// delta is the router's proxying overhead.
+func shardScale(f field.Field, seed uint64) error {
+	const logu = 16
+	const nDatasets = 8
+	const rounds = 3
+	u := uint64(1) << logu
+	cost, err := engine.TableCost(u)
+	if err != nil {
+		return err
+	}
+	budget := 2*cost + cost/2
+	fmt.Printf("Shard scaling: %d datasets, %d rounds of one concurrent F2 query each, u = 2^%d, per-engine budget = 2 datasets\n", nDatasets, rounds, logu)
+
+	dsName := func(i int) string { return fmt.Sprintf("ds-%d", i) }
+	streams := make([][]stream.Update, nDatasets)
+	for i := range streams {
+		streams[i] = stream.UnitIncrements(u, int(2*u), field.NewSplitMix64(seed+uint64(i)))
+	}
+	newVerifier := func(i int) (*core.FkVerifier, error) {
+		proto, err := core.NewSelfJoinSize(f, u)
+		if err != nil {
+			return nil, err
+		}
+		v := proto.NewVerifier(field.NewSplitMix64(seed + uint64(100+i)))
+		if err := v.ObserveBatch(streams[i], runtime.NumCPU()); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+
+	// ingest loads every dataset through addr; queryAll runs one query
+	// per dataset concurrently (each on its own connection — an OPEN pins
+	// a connection to its dataset's shard) and returns the wall clock.
+	ingest := func(addr string) error {
+		for i := 0; i < nDatasets; i++ {
+			cl, err := wire.Dial(addr)
+			if err != nil {
+				return err
+			}
+			if _, err := cl.OpenDataset(dsName(i), u); err == nil {
+				_, err = cl.Ingest(streams[i])
+			}
+			cl.Close()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	queryAll := func(addr string) (time.Duration, error) {
+		// Verifier sessions are single-conversation: one per (round, dataset),
+		// all built (and fed the stream) before the clock starts.
+		vs := make([][]*core.FkVerifier, rounds)
+		cls := make([]*wire.Client, nDatasets)
+		for round := range vs {
+			vs[round] = make([]*core.FkVerifier, nDatasets)
+			for i := range vs[round] {
+				var err error
+				if vs[round][i], err = newVerifier(i); err != nil {
+					return 0, err
+				}
+			}
+		}
+		for i := range cls {
+			var err error
+			if cls[i], err = wire.Dial(addr); err != nil {
+				return 0, err
+			}
+			defer cls[i].Close()
+			if _, err = cls[i].OpenDataset(dsName(i), u); err != nil {
+				return 0, err
+			}
+		}
+		t0 := time.Now()
+		for round := 0; round < rounds; round++ {
+			errs := make(chan error, nDatasets)
+			for i := 0; i < nDatasets; i++ {
+				go func(round, i int) {
+					_, err := cls[i].Query(wire.QuerySelfJoinSize, wire.QueryParams{}, vs[round][i])
+					errs <- err
+				}(round, i)
+			}
+			for i := 0; i < nDatasets; i++ {
+				if err := <-errs; err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	var base time.Duration
+	fmt.Printf("%8s %14s %10s\n", "shards", "wall", "speedup")
+	for _, S := range []int{0, 1, 2, 4} {
+		var addr string
+		var cleanup []func()
+		newServer := func() (string, error) {
+			dir, err := os.MkdirTemp("", "sipbench-shard-*")
+			if err != nil {
+				return "", err
+			}
+			cleanup = append(cleanup, func() { os.RemoveAll(dir) })
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return "", err
+			}
+			srv := &wire.Server{F: f, Workers: 1, MemBudget: budget, DataDir: dir}
+			go func() { _ = srv.Serve(ln) }()
+			cleanup = append(cleanup, func() { srv.Close() })
+			return ln.Addr().String(), nil
+		}
+		if S == 0 {
+			if addr, err = newServer(); err != nil {
+				return err
+			}
+		} else {
+			tbl := &shard.Table{Routes: map[string]string{}}
+			for s := 0; s < S; s++ {
+				saddr, err := newServer()
+				if err != nil {
+					return err
+				}
+				tbl.Shards = append(tbl.Shards, shard.ShardInfo{Name: fmt.Sprintf("s%d", s), Addr: saddr})
+			}
+			for i := 0; i < nDatasets; i++ {
+				tbl.Routes[dsName(i)] = fmt.Sprintf("s%d", i%S)
+			}
+			r, err := shard.NewRouter(tbl)
+			if err != nil {
+				return err
+			}
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go func() { _ = r.Serve(rln) }()
+			cleanup = append(cleanup, func() { r.Close() })
+			addr = rln.Addr().String()
+		}
+		err = ingest(addr)
+		var wall time.Duration
+		if err == nil {
+			wall, err = queryAll(addr)
+		}
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", S)
+		if S == 0 {
+			label = "direct"
+			base = wall
+		}
+		fmt.Printf("%8s %14s %9.2fx\n", label, wall.Round(time.Microsecond), float64(base)/float64(wall))
+	}
+	return nil
 }
 
 // fanout: the Fiat–Shamir proof cache under verifier fan-out — k

@@ -76,6 +76,14 @@ type Engine struct {
 	datasets    map[string]*Dataset
 	maxDatasets int
 
+	// releasedNames tombstones datasets handed off by Release: Open
+	// refuses to recreate them (ErrReleased) so a client racing the
+	// rebalance window — routed to the source after its checkpoint left —
+	// fails typed instead of silently growing an orphan dataset. Adopt
+	// clears the tombstone (the name came back), as does Drop (the
+	// operator's escape hatch to truly forget a released name).
+	releasedNames map[string]struct{}
+
 	// Resource governance + durability (persist.go). Residency
 	// transitions *begin* only with mu held — admission accounting can
 	// never race a transition's start — but the checkpoint I/O of a
@@ -93,6 +101,11 @@ type Engine struct {
 	ckptDone chan struct{} // closed when the checkpointer has exited
 	ckptErr  error         // accumulated background persistence failures (bounded)
 	ckptErrN int           // total background failures, retained or not
+
+	// dropHooks run (outside every engine/dataset lock) whenever a named
+	// dataset leaves the registry — Drop and Release — so layered caches
+	// keyed by dataset name (the wire layer's proof cache) can invalidate.
+	dropHooks []func(name string)
 }
 
 // New returns an empty engine. workers is handed to every prover built
@@ -132,6 +145,9 @@ func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
 		e.touchLocked(ds)
 		return ds, nil
 	}
+	if _, gone := e.releasedNames[name]; gone {
+		return nil, fmt.Errorf("%w: dataset %q was handed off from this engine", ErrReleased, name)
+	}
 	if e.maxDatasets > 0 && len(e.datasets) >= e.maxDatasets {
 		return nil, fmt.Errorf("engine: dataset limit of %d reached", e.maxDatasets)
 	}
@@ -151,6 +167,9 @@ func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
 		}
 		e.touchLocked(ds)
 		return ds, nil
+	}
+	if _, gone := e.releasedNames[name]; gone {
+		return nil, fmt.Errorf("%w: dataset %q was handed off from this engine", ErrReleased, name)
 	}
 	if e.maxDatasets > 0 && len(e.datasets) >= e.maxDatasets {
 		return nil, fmt.Errorf("engine: dataset limit of %d reached", e.maxDatasets)
@@ -191,6 +210,29 @@ func (e *Engine) Names() []string {
 	return out
 }
 
+// OnDrop registers a hook that runs whenever a named dataset leaves the
+// registry (Drop or Release), with the engine and dataset locks NOT
+// held. The wire layer hooks its proof cache here, so a dataset dropped
+// and re-created under the same name can never be served a stale cached
+// proof. Hooks must not block for long — they run on the dropping
+// goroutine.
+func (e *Engine) OnDrop(fn func(name string)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dropHooks = append(e.dropHooks, fn)
+}
+
+// fireDropHooks runs the registered drop hooks. Caller must hold no
+// engine or dataset lock.
+func (e *Engine) fireDropHooks(name string) {
+	e.mu.Lock()
+	hooks := e.dropHooks
+	e.mu.Unlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
+}
+
 // Drop removes the named dataset from the registry and deletes its
 // checkpoint file. Snapshots already taken stay valid (they hold
 // immutable state), and a still-resident *Dataset handle lives on
@@ -201,9 +243,10 @@ func (e *Engine) Names() []string {
 // transition that outlives the removal.
 func (e *Engine) Drop(name string) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	ds, ok := e.datasets[name]
 	if !ok {
+		delete(e.releasedNames, name)
+		e.mu.Unlock()
 		return
 	}
 	for {
@@ -221,6 +264,7 @@ func (e *Engine) Drop(name string) {
 	}
 	if e.datasets[name] != ds { // re-registered while we waited
 		ds.mu.Unlock()
+		e.mu.Unlock()
 		return
 	}
 	delete(e.datasets, name)
@@ -237,6 +281,8 @@ func (e *Engine) Drop(name string) {
 	ds.saveMu.Unlock()
 	ds.mu.Unlock()
 	e.removeCheckpointLocked(name)
+	e.mu.Unlock()
+	e.fireDropHooks(name)
 }
 
 // ---------------------------------------------------------------------
@@ -298,14 +344,15 @@ type Dataset struct {
 	origU   uint64     // universe size as requested (protocols are built with it)
 	workers int
 
-	mu      sync.Mutex
-	eng     *Engine     // nil for standalone datasets; cleared by Drop
-	head    *tableState // nil while evicted
-	res     residency   // the dataset's residency latch state
-	resCond *sync.Cond  // on mu; broadcast on every residency transition
-	nMeta   uint64      // updates ingested, valid even while evicted
-	verMeta uint64      // dataset version, valid even while evicted
-	lastUse uint64      // LRU stamp; guarded by eng.mu, not mu
+	mu       sync.Mutex
+	eng      *Engine     // nil for standalone datasets; cleared by Drop/Release
+	head     *tableState // nil while evicted
+	res      residency   // the dataset's residency latch state
+	resCond  *sync.Cond  // on mu; broadcast on every residency transition
+	detached bool        // Release ran: every table use fails with ErrReleased
+	nMeta    uint64      // updates ingested, valid even while evicted
+	verMeta  uint64      // dataset version, valid even while evicted
+	lastUse  uint64      // LRU stamp; guarded by eng.mu, not mu
 
 	// saveMu serializes checkpoint writes for this dataset and guards
 	// the record of what is on disk, so a slow writer holding an older
@@ -382,6 +429,14 @@ func (d *Dataset) awaitStableLocked() {
 func (d *Dataset) withState(fn func(*tableState) error) error {
 	for {
 		d.mu.Lock()
+		if d.detached {
+			// Release handed this dataset off to another engine; the typed
+			// error tells the wire layer (and through it the router's
+			// client) to retry against the dataset's new home.
+			name := d.name
+			d.mu.Unlock()
+			return fmt.Errorf("%w: dataset %q", ErrReleased, name)
+		}
 		d.awaitStableLocked()
 		if d.res == resResident {
 			err := fn(d.head)

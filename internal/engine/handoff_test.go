@@ -1,0 +1,312 @@
+package engine_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// TestHandoffTranscriptEquality is the checkpoint-handoff contract: for
+// every query kind and worker count, a dataset released from one engine
+// (Release), its checkpoint file moved to another engine's data dir,
+// and adopted there (Adopt) answers with transcripts — and Fiat–Shamir
+// proof bytes — bit-identical to the pre-move originals. This is the
+// guarantee the shard router's rebalance rests on.
+func TestHandoffTranscriptEquality(t *testing.T) {
+	const u = 500
+	const name = "move-me"
+	ups := stream.UniformDeltas(u, 20, field.NewSplitMix64(4100))
+
+	for _, workers := range []int{0, -1} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			srcDir, dstDir := t.TempDir(), t.TempDir()
+
+			src := engine.New(f61, workers)
+			if err := src.SetDataDir(srcDir); err != nil {
+				t.Fatal(err)
+			}
+			ds, err := src.Open(name, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ds.Ingest(ups); err != nil {
+				t.Fatal(err)
+			}
+
+			// Pre-move baselines: one recorded conversation and one encoded
+			// Fiat–Shamir proof per kind.
+			kinds := allKinds()
+			before := make([][]core.Msg, len(kinds))
+			beforeProof := make([][]byte, len(kinds))
+			snap := ds.Snapshot()
+			for k, c := range kinds {
+				msgs, err := converseRecorded(snap, u, c.kind, c.params, uint64(41_000+k), ups)
+				if err != nil {
+					t.Fatalf("kind %d baseline: %v", c.kind, err)
+				}
+				before[k] = msgs
+				pf, err := snap.GenerateProof(c.kind, c.params)
+				if err != nil {
+					t.Fatalf("kind %d baseline proof: %v", c.kind, err)
+				}
+				beforeProof[k] = pf.Encode()
+			}
+
+			// Release: final checkpoint on disk, handle poisoned.
+			n, err := src.Release(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != uint64(len(ups)) {
+				t.Fatalf("Release reported %d updates, want %d", n, len(ups))
+			}
+			if err := ds.Ingest(ups[:1]); !errors.Is(err, engine.ErrReleased) {
+				t.Fatalf("ingest through a released handle: err = %v, want ErrReleased", err)
+			}
+			if _, err := ds.SnapshotErr(); !errors.Is(err, engine.ErrReleased) {
+				t.Fatalf("snapshot of a released handle: err = %v, want ErrReleased", err)
+			}
+			if _, ok := src.Get(name); ok {
+				t.Fatalf("released dataset still registered on the source")
+			}
+
+			// The move: exactly what the router does between the two shards.
+			file := store.DatasetFile(name)
+			if err := os.Rename(filepath.Join(srcDir, file), filepath.Join(dstDir, file)); err != nil {
+				t.Fatal(err)
+			}
+
+			dst := engine.New(f61, workers)
+			if err := dst.SetDataDir(dstDir); err != nil {
+				t.Fatal(err)
+			}
+			m, err := dst.Adopt(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != n {
+				t.Fatalf("Adopt reported %d updates, Release reported %d", m, n)
+			}
+
+			ds2, ok := dst.Get(name)
+			if !ok {
+				t.Fatal("adopted dataset not registered on the target")
+			}
+			snap2 := ds2.Snapshot()
+			if snap2.Version() != snap.Version() {
+				t.Fatalf("version changed across the move: %d vs %d", snap2.Version(), snap.Version())
+			}
+			for k, c := range kinds {
+				msgs, err := converseRecorded(snap2, u, c.kind, c.params, uint64(41_000+k), ups)
+				if err != nil {
+					t.Fatalf("kind %d after move: %v", c.kind, err)
+				}
+				if err := sameMsgs(before[k], msgs); err != nil {
+					t.Errorf("kind %d: transcript differs across handoff: %v", c.kind, err)
+				}
+				pf, err := snap2.GenerateProof(c.kind, c.params)
+				if err != nil {
+					t.Fatalf("kind %d proof after move: %v", c.kind, err)
+				}
+				if !bytes.Equal(beforeProof[k], pf.Encode()) {
+					t.Errorf("kind %d: Fiat–Shamir proof bytes differ across handoff", c.kind)
+				}
+			}
+		})
+	}
+}
+
+// converseRecorded runs one interactive conversation from a snapshot
+// prover against a fresh verifier and returns the prover's recorded
+// transcript.
+func converseRecorded(snap *engine.Snapshot, u uint64, kind engine.QueryKind, params engine.QueryParams, seed uint64, ups []stream.Update) ([]core.Msg, error) {
+	v, obs, err := newVerifier(f61, u, kind, params, field.NewSplitMix64(seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, up := range ups {
+		if err := obs(up); err != nil {
+			return nil, err
+		}
+	}
+	p, err := snap.NewProver(kind, params)
+	if err != nil {
+		return nil, err
+	}
+	rec := &recordingProver{inner: p}
+	if _, err := core.Run(rec, v); err != nil {
+		return nil, err
+	}
+	return rec.msgs, nil
+}
+
+// TestReleaseKeepsCheckpointDropDeletes pins the file-lifecycle split
+// between the two removal paths: Drop deletes the checkpoint (the
+// dataset is gone), Release leaves it (the dataset is moving).
+func TestReleaseKeepsCheckpointDropDeletes(t *testing.T) {
+	const u = 64
+	dir := t.TempDir()
+	eng := engine.New(f61, 0)
+	if err := eng.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"kept", "gone"} {
+		ds, err := eng.Open(name, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.Ingest(stream.UnitIncrements(u, 10, field.NewSplitMix64(7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Release("kept"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drop("gone")
+	if _, err := os.Stat(filepath.Join(dir, store.DatasetFile("kept"))); err != nil {
+		t.Errorf("Release must keep the checkpoint for the adopter: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, store.DatasetFile("gone"))); !os.IsNotExist(err) {
+		t.Errorf("Drop must delete the checkpoint, stat err = %v", err)
+	}
+}
+
+// TestAdoptRefusals: adopting over a live registration or without a
+// checkpoint file fails loudly — two owners of one dataset must be
+// impossible to create by accident.
+func TestAdoptRefusals(t *testing.T) {
+	const u = 64
+	dir := t.TempDir()
+	eng := engine.New(f61, 0)
+	if err := eng.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := eng.Open("live", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ingest(stream.UnitIncrements(u, 5, field.NewSplitMix64(9))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Adopt("live"); err == nil {
+		t.Fatal("Adopt over a live registration must fail")
+	}
+	if _, err := eng.Adopt("no-such-checkpoint"); err == nil {
+		t.Fatal("Adopt without a checkpoint file must fail")
+	}
+	if _, err := eng.Release("no-such-dataset"); err == nil {
+		t.Fatal("Release of an unknown dataset must fail")
+	}
+}
+
+// TestReleaseOfEvictedDataset: a dataset released while evicted needs
+// no save (its tables were freed only after a durable checkpoint); the
+// handoff must still carry every update.
+func TestReleaseOfEvictedDataset(t *testing.T) {
+	const u = 1 << 10
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src := engine.New(f61, 0)
+	if err := src.SetDataDir(srcDir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := src.Open("cold", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := stream.UniformDeltas(u, 50, field.NewSplitMix64(11))
+	if err := ds.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	// Evict it by opening a second dataset under a budget that fits one.
+	cost, err := engine.TableCost(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetBudget(cost + cost/2)
+	if _, err := src.Open("warm", u); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Resident() {
+		t.Fatal("test setup: dataset was not evicted")
+	}
+	n, err := src.Release("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(ups)) {
+		t.Fatalf("Release of evicted dataset reported %d updates, want %d", n, len(ups))
+	}
+	file := store.DatasetFile("cold")
+	if err := os.Rename(filepath.Join(srcDir, file), filepath.Join(dstDir, file)); err != nil {
+		t.Fatal(err)
+	}
+	dst := engine.New(f61, 0)
+	if err := dst.SetDataDir(dstDir); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := dst.Adopt("cold"); err != nil || m != n {
+		t.Fatalf("Adopt = (%d, %v), want (%d, nil)", m, err, n)
+	}
+}
+
+// TestReleasedNameTombstone: after Release, Open of the same name must
+// fail with ErrReleased instead of silently creating a fresh empty
+// dataset — the guard against a client whose router still routes to the
+// source during a cross-process rebalance. Adopt clears the tombstone
+// (the name came back); Drop is the operator's escape hatch.
+func TestReleasedNameTombstone(t *testing.T) {
+	const u = 64
+	dir := t.TempDir()
+	eng := engine.New(f61, 0)
+	if err := eng.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := eng.Open("moved", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ingest(stream.UnitIncrements(u, 10, field.NewSplitMix64(11))); err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.Release("moved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Open("moved", u); !errors.Is(err, engine.ErrReleased) {
+		t.Fatalf("Open of a released name = %v, want ErrReleased", err)
+	}
+	// Adopt brings the name back (checkpoint is still in this data dir)
+	// and clears the tombstone: Open attaches again.
+	if m, err := eng.Adopt("moved"); err != nil || m != n {
+		t.Fatalf("Adopt = (%d, %v), want (%d, nil)", m, err, n)
+	}
+	ds2, err := eng.Open("moved", u)
+	if err != nil {
+		t.Fatalf("Open after Adopt = %v, want nil", err)
+	}
+	if got := ds2.Updates(); got != n {
+		t.Fatalf("adopted dataset holds %d updates, want %d", got, n)
+	}
+	// Release again, then Drop the tombstoned name: the operator chose
+	// to forget it, so a fresh Open may recreate it empty.
+	if _, err := eng.Release("moved"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Drop("moved")
+	ds3, err := eng.Open("moved", u)
+	if err != nil {
+		t.Fatalf("Open after Drop of tombstoned name = %v, want nil", err)
+	}
+	if got := ds3.Updates(); got != 0 {
+		t.Fatalf("recreated dataset holds %d updates, want 0", got)
+	}
+}

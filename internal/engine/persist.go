@@ -44,7 +44,6 @@
 package engine
 
 import (
-	"encoding/base64"
 	"errors"
 	"fmt"
 	"os"
@@ -77,7 +76,7 @@ var ErrPartialRecovery = errors.New("engine: some checkpoints were not recovered
 var ErrCheckpointerRunning = errors.New("engine: checkpointer already running")
 
 // ckptExt is the checkpoint file suffix in the data dir.
-const ckptExt = ".ckpt"
+const ckptExt = store.CkptExt
 
 // maxRetainedBgErrs bounds how many background persistence failures are
 // kept in the error chain surfaced by Close. A server on a persistently
@@ -97,20 +96,12 @@ func (e *Engine) recordBgErrLocked(err error) {
 	e.ckptErrN++
 }
 
-// fileForName maps a dataset name (arbitrary UTF-8, up to the wire
-// layer's 255 bytes) to a filesystem-safe checkpoint file name.
-func fileForName(name string) string {
-	return base64.RawURLEncoding.EncodeToString([]byte(name)) + ckptExt
-}
+// fileForName maps a dataset name to its filesystem-safe checkpoint
+// file name; shared with the shard router via store.DatasetFile.
+func fileForName(name string) string { return store.DatasetFile(name) }
 
 // nameFromFile inverts fileForName.
-func nameFromFile(file string) (string, error) {
-	b, err := base64.RawURLEncoding.DecodeString(strings.TrimSuffix(file, ckptExt))
-	if err != nil {
-		return "", fmt.Errorf("engine: %q is not a checkpoint file name: %w", file, err)
-	}
-	return string(b), nil
-}
+func nameFromFile(file string) (string, error) { return store.DatasetName(file) }
 
 // SetBudget caps the aggregate bytes of resident dataset tables (counts
 // plus field image: 16 bytes per padded universe entry per dataset).

@@ -53,9 +53,9 @@ func wordCountWrapPayload() []byte {
 		binary.LittleEndian.PutUint64(w[:], v)
 		b = append(b, w[:]...)
 	}
-	put(7)        // modulus
-	put(4)        // universe
-	put(1)        // version
+	put(7)           // modulus
+	put(4)           // universe
+	put(1)           // version
 	b = append(b, 0) // empty dataset name
 	b = append(b, 2) // query kind
 	put(0)           // A

@@ -1,0 +1,552 @@
+// The mux-transparent proxy: one client-facing listener, one read loop
+// per client connection, one lazily-dialed backend connection per
+// (client connection, shard) pair.
+//
+// The router runs the same per-connection frame state machine as the
+// server (wire.FlowState) so an illegal frame is refused at the edge
+// with the server's exact error, and the same channel bookkeeping
+// (wire.ChannelPins) so channel-scoped frames route to the backend
+// whose dataset opened them — a connection that re-attaches to a second
+// dataset keeps its in-flight conversations on the first dataset's
+// shard. Frames are forwarded byte-for-byte in both directions: every
+// typed refusal a shard emits (budget frames, "not current"
+// proof-version errors, unknown query kinds) reaches the client
+// unchanged, which is what lets sip.Client and wire.Client work against
+// a router with zero API changes.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Router proxies the wire protocol over a set of engine shards.
+// Configure the fields before Serve; they must not change afterwards
+// (the routing table itself may, through Rebalance/SetTable).
+type Router struct {
+	// IdleTimeout bounds client-side reads and writes, mirroring
+	// wire.Server.IdleTimeout. Zero means no deadline.
+	IdleTimeout time.Duration
+	// DialTimeout bounds each backend dial attempt (default 2s). A
+	// backend dial retries with exponential backoff (dialAttempts tries)
+	// before the open is failed back to the client.
+	DialTimeout time.Duration
+	// TablePath, when set, is where Rebalance persists the flipped route
+	// so it survives a router restart. A serving router also watches the
+	// file: place() reloads it when its mtime changes, so a route flipped
+	// by a separate process (`siprouter -rebalance`) takes effect without
+	// restarting the router.
+	TablePath string
+
+	mu         sync.Mutex
+	table      *Table
+	tableMTime time.Time                // mtime of TablePath at the last (re)load
+	migrating  map[string]chan struct{} // dataset → closed when its migration settles
+	lns        map[net.Listener]struct{}
+	conns      map[net.Conn]struct{}
+	closed     bool
+	rr         int // round-robin cursor for v1 (nameless) placements
+	handlers   sync.WaitGroup
+}
+
+// ErrRouterClosed is returned by Serve after Close.
+var ErrRouterClosed = errors.New("shard: router closed")
+
+const (
+	dialAttempts     = 5
+	dialBackoffFirst = 50 * time.Millisecond
+)
+
+// NewRouter returns a router serving the given table.
+func NewRouter(t *Table) (*Router, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return &Router{
+		table:     t,
+		migrating: make(map[string]chan struct{}),
+	}, nil
+}
+
+// Table returns the current routing table (a shallow copy: shards and
+// routes are snapshotted).
+func (r *Router) Table() Table {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := Table{Shards: append([]ShardInfo(nil), r.table.Shards...), Routes: make(map[string]string, len(r.table.Routes))}
+	for k, v := range r.table.Routes {
+		cp.Routes[k] = v
+	}
+	return cp
+}
+
+// SetTable swaps the routing table (e.g. after an external edit). Live
+// attachments keep their pinned backends; only new OPENs see the new
+// placement.
+func (r *Router) SetTable(t *Table) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.table = t
+	r.mu.Unlock()
+	return nil
+}
+
+// Serve accepts client connections until the listener closes. Each
+// connection is proxied on its own goroutine. Serve may run on several
+// listeners concurrently; Close stops them all.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRouterClosed
+	}
+	if r.lns == nil {
+		r.lns = make(map[net.Listener]struct{})
+	}
+	r.lns[ln] = struct{}{}
+	r.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			if !closed {
+				delete(r.lns, ln)
+			}
+			r.mu.Unlock()
+			if closed {
+				return ErrRouterClosed
+			}
+			return err
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return ErrRouterClosed
+		}
+		if r.conns == nil {
+			r.conns = make(map[net.Conn]struct{})
+		}
+		r.conns[conn] = struct{}{}
+		r.handlers.Add(1)
+		r.mu.Unlock()
+		go func() {
+			defer r.handlers.Done()
+			defer func() {
+				conn.Close()
+				r.mu.Lock()
+				delete(r.conns, conn)
+				r.mu.Unlock()
+			}()
+			p := newProxyConn(r, conn)
+			err := p.loop()
+			p.close()
+			if err != nil && !errors.Is(err, io.EOF) {
+				// The server's teardown contract: one final typed error
+				// frame, then the close.
+				_ = p.writeClient(wire.FrameError, []byte(err.Error()))
+			}
+		}()
+	}
+}
+
+// Close stops every listener and live connection and waits the proxy
+// goroutines out.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	lns := make([]net.Listener, 0, len(r.lns))
+	for ln := range r.lns {
+		lns = append(lns, ln)
+	}
+	r.lns = nil
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	var err error
+	for _, ln := range lns {
+		err = errors.Join(err, ln.Close())
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	r.handlers.Wait()
+	return err
+}
+
+// migrationGate returns the channel to wait on if the dataset is mid-
+// migration, nil otherwise.
+func (r *Router) migrationGate(dataset string) <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.migrating[dataset]
+}
+
+// maybeReloadTable re-reads TablePath when the file's mtime has moved
+// past the last load — the hot-reload path that makes a cross-process
+// `siprouter -rebalance` visible to a running router. Errors (file
+// vanished mid-edit, half-written JSON) leave the serving table
+// untouched; the next placement retries.
+func (r *Router) maybeReloadTable() {
+	r.mu.Lock()
+	path, last := r.TablePath, r.tableMTime
+	r.mu.Unlock()
+	if path == "" {
+		return
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.ModTime().Equal(last) {
+		return
+	}
+	t, err := LoadTable(path)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.table = t
+	r.tableMTime = fi.ModTime()
+	r.mu.Unlock()
+}
+
+// place resolves a dataset's shard against the current table, waiting
+// out an in-flight migration of that dataset first — an OPEN that races
+// a rebalance attaches to the new home, never to the released source.
+func (r *Router) place(dataset string) (ShardInfo, error) {
+	r.maybeReloadTable()
+	for {
+		ch := r.migrationGate(dataset)
+		if ch == nil {
+			break
+		}
+		gateTimeout := r.IdleTimeout
+		if gateTimeout <= 0 {
+			gateTimeout = time.Minute
+		}
+		select {
+		case <-ch:
+		case <-time.After(gateTimeout):
+			return ShardInfo{}, fmt.Errorf("shard: dataset %q is mid-migration and did not settle within %v", dataset, gateTimeout)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table.Place(dataset)
+}
+
+// nextShard picks a shard round-robin — the placement for v1 private
+// datasets, which have no name to hash.
+func (r *Router) nextShard() ShardInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.table.Shards[r.rr%len(r.table.Shards)]
+	r.rr++
+	return s
+}
+
+// ---------------------------------------------------------------------
+// proxyConn: one client connection's proxy state.
+
+// backend is one shard-side connection owned by a proxyConn. Only the
+// client read loop writes to it; its pump goroutine is the only reader.
+type backend struct {
+	shard ShardInfo
+	conn  net.Conn
+}
+
+type proxyConn struct {
+	r      *Router
+	client net.Conn
+	cwmu   sync.Mutex // serializes client-side frame writes (pumps + teardown)
+
+	flow     wire.FlowState
+	pins     *wire.ChannelPins   // channel id → *backend
+	backends map[string]*backend // shard name → connection
+	cur      *backend            // backend of the current attachment
+	pumps    sync.WaitGroup
+	closing  chan struct{} // closed when the proxy tears down
+}
+
+func newProxyConn(r *Router, conn net.Conn) *proxyConn {
+	return &proxyConn{
+		r:        r,
+		client:   conn,
+		pins:     wire.NewChannelPins(),
+		backends: make(map[string]*backend),
+		closing:  make(chan struct{}),
+	}
+}
+
+func (p *proxyConn) close() {
+	close(p.closing)
+	for _, b := range p.backends {
+		_ = b.conn.Close()
+	}
+	p.pumps.Wait()
+}
+
+// readClient receives one client frame under the idle deadline.
+func (p *proxyConn) readClient() (byte, []byte, error) {
+	if t := p.r.IdleTimeout; t > 0 {
+		if err := p.client.SetReadDeadline(time.Now().Add(t)); err != nil {
+			return 0, nil, err
+		}
+	}
+	return wire.ReadFrame(p.client)
+}
+
+// writeClient sends one frame to the client, serialized against the
+// backend pumps.
+func (p *proxyConn) writeClient(typ byte, payload []byte) error {
+	p.cwmu.Lock()
+	defer p.cwmu.Unlock()
+	if t := p.r.IdleTimeout; t > 0 {
+		if err := p.client.SetWriteDeadline(time.Now().Add(t)); err != nil {
+			return err
+		}
+	}
+	return wire.WriteFrame(p.client, typ, payload)
+}
+
+// writeBackend forwards one frame to a shard. Only the client read loop
+// calls it, so backend writes need no lock.
+func (p *proxyConn) writeBackend(b *backend, typ byte, payload []byte) error {
+	if t := p.r.IdleTimeout; t > 0 {
+		if err := b.conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
+			return err
+		}
+	}
+	if err := wire.WriteFrame(b.conn, typ, payload); err != nil {
+		return fmt.Errorf("shard: forwarding to shard %q: %w", b.shard.Name, err)
+	}
+	return nil
+}
+
+// backendFor returns the connection to a shard, dialing it (with
+// backoff) on first use by this client connection.
+func (p *proxyConn) backendFor(s ShardInfo) (*backend, error) {
+	if b := p.backends[s.Name]; b != nil {
+		return b, nil
+	}
+	conn, err := dialBackoff(s.Addr, p.r.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("shard: shard %q (%s) is unreachable: %w", s.Name, s.Addr, err)
+	}
+	b := &backend{shard: s, conn: conn}
+	p.backends[s.Name] = b
+	p.pumps.Add(1)
+	go p.pump(b)
+	return b, nil
+}
+
+// dialBackoff dials with exponential backoff: a shard mid-restart gets
+// dialAttempts chances over ~1.5s before the client sees a failure.
+func dialBackoff(addr string, dialTimeout time.Duration) (net.Conn, error) {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	var err error
+	delay := dialBackoffFirst
+	for i := 0; i < dialAttempts; i++ {
+		if i > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		var conn net.Conn
+		if conn, err = net.DialTimeout("tcp", addr, dialTimeout); err == nil {
+			return conn, nil
+		}
+	}
+	return nil, err
+}
+
+// pump forwards one backend's frames to the client verbatim, retiring
+// channel pins as the backend fails channels. If the backend dies while
+// the client is live, the client connection is failed loudly (a typed
+// error frame, then close) — its conversations on that shard are gone
+// and a silent stall would strand them.
+func (p *proxyConn) pump(b *backend) {
+	defer p.pumps.Done()
+	for {
+		typ, payload, err := wire.ReadFrame(b.conn)
+		if err != nil {
+			select {
+			case <-p.closing: // orderly teardown closed the backend under us
+			default:
+				_ = p.writeClient(wire.FrameError, fmt.Appendf(nil,
+					"shard: connection to shard %q lost: %v", b.shard.Name, err))
+				_ = p.client.Close() // unblocks the client read loop
+			}
+			return
+		}
+		if typ == wire.FrameErrorCh || typ == wire.FrameBudgetCh {
+			// The shard failed this channel; drop the pin so the one
+			// client frame lock-step allows is absorbed, exactly as the
+			// server's own bookkeeping would.
+			if id, err := wire.ChannelID(payload); err == nil {
+				p.pins.Retire(id, b, true)
+			}
+		}
+		if err := p.writeClient(typ, payload); err != nil {
+			_ = p.client.Close()
+			return
+		}
+	}
+}
+
+// loop is the client read loop: legality-check, place, forward.
+func (p *proxyConn) loop() error {
+	for {
+		typ, payload, err := p.readClient()
+		if err != nil {
+			return err
+		}
+		// Serial conversation frames never reach the server's top-level
+		// loop (its converse() consumes them), so FlowState has no rule
+		// for them; the proxy sees every frame at top level and forwards
+		// mid-conversation traffic to the attachment's shard.
+		if typ == wire.FrameChallenge || typ == wire.FrameFinish {
+			if p.cur == nil || !p.flow.Attached() {
+				return fmt.Errorf("%w: unexpected frame 0x%02x", wire.ErrProtocol, typ)
+			}
+			if err := p.writeBackend(p.cur, typ, payload); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.flow.Advance(typ); err != nil {
+			return err
+		}
+		switch typ {
+		case wire.FrameHello:
+			// A v1 private dataset has no name to place by; spread
+			// connections round-robin.
+			b, err := p.backendFor(p.r.nextShard())
+			if err != nil {
+				return err
+			}
+			p.cur = b
+			if err := p.writeBackend(b, typ, payload); err != nil {
+				return err
+			}
+		case wire.FrameOpen:
+			name, _, err := wire.DecodeOpen(payload)
+			if err != nil {
+				return err
+			}
+			s, err := p.r.place(name)
+			if err != nil {
+				return err
+			}
+			b, err := p.backendFor(s)
+			if err != nil {
+				return err
+			}
+			p.cur = b
+			if err := p.writeBackend(b, typ, payload); err != nil {
+				return err
+			}
+		case wire.FrameUpdates, wire.FrameEndStream, wire.FrameQuery:
+			// FlowState guarantees an attachment exists, which pinned cur.
+			if err := p.writeBackend(p.cur, typ, payload); err != nil {
+				return err
+			}
+		case wire.FrameQueryCh:
+			id, err := wire.ChannelID(payload)
+			if err != nil {
+				return err
+			}
+			if id == 0 {
+				return fmt.Errorf("%w: channel id 0 is reserved for the control plane", wire.ErrProtocol)
+			}
+			// Pin the conversation to the current attachment's shard: a
+			// later OPEN moves cur, not in-flight conversations. The shard
+			// enforces its own concurrency cap (limit 0 here), and its
+			// budget refusal both passes through and unpins (see pump).
+			if _, err := p.pins.Open(id, p.cur, 0); err != nil {
+				return err
+			}
+			if err := p.writeBackend(p.cur, typ, payload); err != nil {
+				return err
+			}
+		case wire.FrameChallengeCh, wire.FrameFinishCh:
+			id, err := wire.ChannelID(payload)
+			if err != nil {
+				return err
+			}
+			finish := typ == wire.FrameFinishCh
+			owner, ok := p.pins.Route(id, finish)
+			if !ok {
+				return fmt.Errorf("%w: frame 0x%02x for unknown channel %d", wire.ErrProtocol, typ, id)
+			}
+			if owner == nil {
+				continue // tombstone absorbed a frame that crossed the shard's error
+			}
+			b := owner.(*backend)
+			if err := p.writeBackend(b, typ, payload); err != nil {
+				return err
+			}
+			if finish {
+				// The finish frame ends the channel on the shard with no
+				// reply; fully retire the pin.
+				p.pins.Retire(id, b, false)
+			}
+		case wire.FrameProofReqCh:
+			// One-shot request/response: the reply (or per-channel error)
+			// comes straight back on the same backend, no pin needed.
+			if err := p.writeBackend(p.cur, typ, payload); err != nil {
+				return err
+			}
+		case wire.FrameHandoff, wire.FrameAdopt:
+			// Admin frames place by the named dataset: a handoff reaches
+			// the shard that currently serves it, an adopt the shard its
+			// (already-flipped) route names. The rebalancer drives shards
+			// directly (see rebalance.go); this path exists for operator
+			// tooling pointed at the router.
+			name, err := wire.DecodeName(payload)
+			if err != nil {
+				return err
+			}
+			s, err := p.r.place(name)
+			if err != nil {
+				return err
+			}
+			b, err := p.backendFor(s)
+			if err != nil {
+				return err
+			}
+			if err := p.writeBackend(b, typ, payload); err != nil {
+				return err
+			}
+		case wire.FrameStatsReq:
+			// Stats are per shard; report the current attachment's, or the
+			// first shard's for an unattached admin probe.
+			b := p.cur
+			if b == nil {
+				r := p.r
+				r.mu.Lock()
+				s := r.table.Shards[0]
+				r.mu.Unlock()
+				if b, err = p.backendFor(s); err != nil {
+					return err
+				}
+			}
+			if err := p.writeBackend(b, typ, payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame 0x%02x", wire.ErrProtocol, typ)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Checkpoint file naming: the mapping between dataset names (arbitrary
+// UTF-8, up to the wire layer's 255 bytes) and filesystem-safe file
+// names in a data dir. The engine and the shard router share this
+// mapping — a router moving a checkpoint between shard data dirs must
+// produce exactly the file name the target engine's Adopt will look
+// for.
+package store
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// CkptExt is the checkpoint file suffix in a data dir.
+const CkptExt = ".ckpt"
+
+// DatasetFile maps a dataset name to its checkpoint file name
+// (base64url of the name, plus CkptExt).
+func DatasetFile(name string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(name)) + CkptExt
+}
+
+// DatasetName inverts DatasetFile.
+func DatasetName(file string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(strings.TrimSuffix(file, CkptExt))
+	if err != nil {
+		return "", fmt.Errorf("store: %q is not a checkpoint file name: %w", file, err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,69 @@
+// Codec shims: the codec itself lives in internal/wire/frames (the
+// bottom layer of the wire split — see seam.go for the layer map), and
+// these unexported aliases let the client, server, and mux layers keep
+// reading naturally. Nothing in this file has behavior; adding one is a
+// smell that logic is leaking into the codec layer.
+package wire
+
+import "repro/internal/wire/frames"
+
+const (
+	frameHello     = frames.Hello
+	frameUpdates   = frames.Updates
+	frameEndStream = frames.EndStream
+	frameQuery     = frames.Query
+	frameProver    = frames.Prover
+	frameChallenge = frames.Challenge
+	frameFinish    = frames.Finish
+	frameError     = frames.Error
+	frameOpen      = frames.Open
+	frameOK        = frames.OK
+	frameBudget    = frames.Budget
+
+	frameQueryCh     = frames.QueryCh
+	frameChallengeCh = frames.ChallengeCh
+	frameProverCh    = frames.ProverCh
+	frameFinishCh    = frames.FinishCh
+	frameErrorCh     = frames.ErrorCh
+	frameBudgetCh    = frames.BudgetCh
+
+	frameProofReqCh = frames.ProofReqCh
+	frameProofCh    = frames.ProofCh
+
+	frameHandoff   = frames.Handoff
+	frameAdopt     = frames.Adopt
+	frameStatsReq  = frames.StatsReq
+	frameStatsResp = frames.StatsResp
+)
+
+const (
+	maxFrame       = frames.MaxFrame
+	maxDatasetName = frames.MaxDatasetName
+	maxCircuitName = frames.MaxCircuitName
+)
+
+// ErrProtocol reports a malformed or unexpected frame. It is the
+// canonical instance from the codec layer, so errors.Is matches across
+// the seam.
+var ErrProtocol = frames.ErrProtocol
+
+var (
+	writeFrame          = frames.WriteFrame
+	readFrame           = frames.ReadFrame
+	encodeMsg           = frames.EncodeMsg
+	decodeMsg           = frames.DecodeMsg
+	encodeQuery         = frames.EncodeQuery
+	decodeQuery         = frames.DecodeQuery
+	encodeOpen          = frames.EncodeOpen
+	decodeOpen          = frames.DecodeOpen
+	encodeCount         = frames.EncodeCount
+	decodeCount         = frames.DecodeCount
+	encodeName          = frames.EncodeName
+	decodeName          = frames.DecodeName
+	encodeUpdates       = frames.EncodeUpdates
+	decodeUpdateColumns = frames.DecodeUpdateColumns
+	encodeChannel       = frames.EncodeChannel
+	decodeChannel       = frames.DecodeChannel
+	encodeProofReq      = frames.EncodeProofReq
+	decodeProofReq      = frames.DecodeProofReq
+)

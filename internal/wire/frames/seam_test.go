@@ -1,0 +1,61 @@
+package frames
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFrameCodecImportSeam enforces the layering the wire split
+// established: the raw frame codec is an implementation detail of the
+// wire protocol, and only packages under internal/wire/... may import
+// it. Everything else — the shard router included — goes through the
+// typed surface internal/wire exports (the seam), so the codec can
+// change without a flag day across the repo.
+func TestFrameCodecImportSeam(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	const codec = "repro/internal/wire/frames"
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(filepath.ToSlash(rel), "internal/wire/") {
+			return nil // inside the seam
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == codec || strings.HasPrefix(p, codec+"/") {
+				t.Errorf("%s imports %s: the frame codec is internal to internal/wire/... — use the wire package's exported seam", rel, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,10 +18,14 @@
 // connection's read loop, never the server or other connections.
 // Channel opens past Server.MaxConcurrentQueries are refused with a
 // per-channel budget frame, the same treatment as engine admission.
+//
+// Channel bookkeeping (live table, concurrency slots, tombstones for
+// failed channels) lives in ChannelPins (seam.go), shared with the
+// shard router's proxy so both ends of a proxied connection enforce the
+// same discipline.
 package wire
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -31,22 +35,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 )
-
-// encodeChannel prefixes a frame payload with its channel id.
-func encodeChannel(id uint32, payload []byte) []byte {
-	out := make([]byte, 4+len(payload))
-	binary.LittleEndian.PutUint32(out[:4], id)
-	copy(out[4:], payload)
-	return out
-}
-
-// decodeChannel splits a channel-scoped payload into id and body.
-func decodeChannel(b []byte) (uint32, []byte, error) {
-	if len(b) < 4 {
-		return 0, nil, fmt.Errorf("%w: channel frame of %d bytes", ErrProtocol, len(b))
-	}
-	return binary.LittleEndian.Uint32(b[:4]), b[4:], nil
-}
 
 // muxFrame is one channel-scoped frame with the id already stripped.
 type muxFrame struct {
@@ -66,40 +54,9 @@ type connMux struct {
 	conn net.Conn
 	wmu  sync.Mutex
 
-	mu    sync.Mutex
-	chans map[uint32]*muxChan
-	// dead tombstones channels that failed server-side: lock-step means
-	// at most one client frame can cross the error on the wire, and an
-	// honest client (which stops on the error) sends none at all — so
-	// the set is bounded to the newest maxDeadChannels failures
-	// (deadOrder is the FIFO) instead of growing with every failed
-	// conversation over a long-lived connection.
-	dead      map[uint32]struct{}
-	deadOrder []uint32
-	active    int
-	wg        sync.WaitGroup
-	done      chan struct{} // closed when the connection's read loop exits
-}
-
-// maxDeadChannels bounds the tombstone set per connection. A stray
-// frame, if one is ever in flight, arrives immediately behind the error
-// that orphaned it; tombstones deeper than this are stale.
-const maxDeadChannels = 128
-
-// removeTombstoneLocked consumes a tombstone from both the set and the
-// FIFO, so a pruned slot can never evict a fresh tombstone for a reused
-// id. Caller holds m.mu.
-func (m *connMux) removeTombstoneLocked(id uint32) {
-	if _, ok := m.dead[id]; !ok {
-		return
-	}
-	delete(m.dead, id)
-	for i, d := range m.deadOrder {
-		if d == id {
-			m.deadOrder = append(m.deadOrder[:i], m.deadOrder[i+1:]...)
-			break
-		}
-	}
+	pins *ChannelPins // channel id → *muxChan
+	wg   sync.WaitGroup
+	done chan struct{} // closed when the connection's read loop exits
 }
 
 // muxChan is one live conversation channel: its inbound frame queue and
@@ -108,21 +65,14 @@ func (m *connMux) removeTombstoneLocked(id uint32) {
 type muxChan struct {
 	q    chan muxFrame
 	done chan struct{}
-	// released records that this channel's MaxConcurrentQueries slot was
-	// already returned (guarded by connMux.mu). The read loop releases
-	// the slot the moment the finish frame arrives — not when the
-	// conversation goroutine gets around to consuming it — so a strictly
-	// serial client at the concurrency cap is never spuriously refused.
-	released bool
 }
 
 func newConnMux(s *Server, conn net.Conn) *connMux {
 	return &connMux{
-		s:     s,
-		conn:  conn,
-		chans: make(map[uint32]*muxChan),
-		dead:  make(map[uint32]struct{}),
-		done:  make(chan struct{}),
+		s:    s,
+		conn: conn,
+		pins: NewChannelPins(),
+		done: make(chan struct{}),
 	}
 }
 
@@ -142,11 +92,9 @@ func (m *connMux) shutdown() {
 	m.wg.Wait()
 }
 
-// dispatch handles one channel-scoped frame from the read loop.
+// dispatch handles one channel-scoped frame from the read loop. Frame
+// legality was already checked by the handler's FlowState.
 func (m *connMux) dispatch(typ byte, payload []byte, ds *engine.Dataset, st connState) error {
-	if st != connV1Done && st != connV2 {
-		return fmt.Errorf("%w: conversation frame before queries are allowed", ErrProtocol)
-	}
 	id, rest, err := decodeChannel(payload)
 	if err != nil {
 		return err
@@ -163,26 +111,21 @@ func (m *connMux) dispatch(typ byte, payload []byte, ds *engine.Dataset, st conn
 		// exchange. See proof.go.
 		return m.proofFetch(id, rest, ds, st)
 	}
-	m.mu.Lock()
-	mc := m.chans[id]
-	if mc != nil && typ == frameFinishCh && !mc.released {
-		mc.released = true
-		m.active--
-	}
-	if mc == nil {
-		// A channel the server failed may see exactly one more frame from
-		// the client (lock-step: the challenge that crossed our error on
-		// the wire). Consume the tombstone and drop the frame; anything
-		// else is a protocol violation.
-		if _, ok := m.dead[id]; ok {
-			m.removeTombstoneLocked(id)
-			m.mu.Unlock()
-			return nil
-		}
-		m.mu.Unlock()
+	// The finish frame releases the channel's concurrency slot the moment
+	// it arrives — not when the conversation goroutine consumes it — so a
+	// strictly serial client at the cap is never spuriously refused.
+	owner, ok := m.pins.Route(id, typ == frameFinishCh)
+	if !ok {
 		return fmt.Errorf("%w: frame 0x%02x for unknown channel %d", ErrProtocol, typ, id)
 	}
-	m.mu.Unlock()
+	if owner == nil {
+		// A channel the server failed may see exactly one more frame from
+		// the client (lock-step: the challenge that crossed our error on
+		// the wire). The tombstone absorbed it; anything further is a
+		// protocol violation.
+		return nil
+	}
+	mc := owner.(*muxChan)
 	select {
 	case mc.q <- muxFrame{typ: typ, payload: rest}:
 	case <-mc.done:
@@ -203,24 +146,18 @@ func (m *connMux) open(id uint32, body []byte, ds *engine.Dataset, st connState)
 	if limit == 0 {
 		limit = DefaultMaxConcurrentQueries
 	}
-	m.mu.Lock()
-	if _, dup := m.chans[id]; dup {
-		m.mu.Unlock()
-		return fmt.Errorf("%w: channel %d is already open", ErrProtocol, id)
+	mc := &muxChan{q: make(chan muxFrame, 4), done: make(chan struct{})}
+	ok, err := m.pins.Open(id, mc, limit)
+	if err != nil {
+		return err
 	}
-	m.removeTombstoneLocked(id) // the id is being reused; the stray never came
-	if limit > 0 && m.active >= limit {
-		m.mu.Unlock()
+	if !ok {
 		// Same treatment as engine admission: a resource refusal on this
 		// channel only, not a protocol violation — the connection and its
 		// other conversations continue.
 		return m.write(frameBudgetCh, encodeChannel(id,
 			fmt.Appendf(nil, "too many concurrent queries (limit %d)", limit)))
 	}
-	mc := &muxChan{q: make(chan muxFrame, 4), done: make(chan struct{})}
-	m.chans[id] = mc
-	m.active++
-	m.mu.Unlock()
 
 	// The snapshot is taken synchronously so the conversation's view is
 	// fixed before the read loop touches the next frame — a query never
@@ -251,25 +188,7 @@ func (m *connMux) open(id uint32, body []byte, ds *engine.Dataset, st connState)
 // typed per-channel error frame.
 func (m *connMux) finish(id uint32, mc *muxChan, err error) {
 	close(mc.done)
-	m.mu.Lock()
-	if m.chans[id] == mc {
-		delete(m.chans, id)
-		if !mc.released {
-			mc.released = true
-			m.active--
-		}
-	}
-	if err != nil {
-		if _, ok := m.dead[id]; !ok {
-			m.dead[id] = struct{}{}
-			m.deadOrder = append(m.deadOrder, id)
-			if len(m.deadOrder) > maxDeadChannels {
-				delete(m.dead, m.deadOrder[0])
-				m.deadOrder = m.deadOrder[1:]
-			}
-		}
-	}
-	m.mu.Unlock()
+	m.pins.Retire(id, mc, err != nil)
 	if err != nil {
 		typ := byte(frameErrorCh)
 		if errors.Is(err, engine.ErrBudget) {

@@ -17,7 +17,6 @@
 package wire
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -31,24 +30,6 @@ import (
 // Server.ProofCacheBudget is zero. Proofs are O(log u · log n) words, so
 // this holds tens of thousands of distinct (version, query) entries.
 const DefaultProofCacheBudget = 64 << 20
-
-// encodeProofReq lays out a proof request: the requested dataset
-// version (0 = current), then the query block in the query-frame
-// layout.
-func encodeProofReq(version uint64, kind QueryKind, p QueryParams) []byte {
-	out := make([]byte, 8, 8+1+8*4+len(p.Circuit))
-	binary.LittleEndian.PutUint64(out, version)
-	return append(out, encodeQuery(kind, p)...)
-}
-
-func decodeProofReq(b []byte) (version uint64, kind QueryKind, p QueryParams, err error) {
-	if len(b) < 8 {
-		return 0, 0, QueryParams{}, fmt.Errorf("%w: proof request of %d bytes", ErrProtocol, len(b))
-	}
-	version = binary.LittleEndian.Uint64(b)
-	kind, p, err = decodeQuery(b[8:])
-	return version, kind, p, err
-}
 
 // ---------------------------------------------------------------------
 // Server side
@@ -69,15 +50,30 @@ func (s *Server) proofCacheRef() *proofcache.Cache {
 }
 
 // ServerStats is a point-in-time snapshot of the server's operational
-// counters.
+// counters. It is the payload of the StatsReq/StatsResp admin exchange
+// (JSON-encoded on the wire), so fields must stay JSON-representable.
 type ServerStats struct {
 	ProofCache proofcache.Stats
+
+	// DatasetsRecovered counts the checkpoints loaded by the startup
+	// Recover pass on this server's engine.
+	DatasetsRecovered int
+	// RecoveryFailures lists the per-file errors from a partial recovery
+	// (engine.ErrPartialRecovery): checkpoints that exist on disk but
+	// could not be loaded. Empty when recovery was clean.
+	RecoveryFailures []string `json:",omitempty"`
 }
 
-// Stats returns the server's counters — chiefly the proof cache's
-// hit/miss/eviction/coalescing accounting.
+// Stats returns the server's counters — the proof cache's
+// hit/miss/eviction/coalescing accounting plus the startup recovery
+// outcome.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{ProofCache: s.proofCacheRef().Stats()}
+	st := ServerStats{ProofCache: s.proofCacheRef().Stats()}
+	s.mu.Lock()
+	st.DatasetsRecovered = s.recovered
+	st.RecoveryFailures = append([]string(nil), s.recoveryFails...)
+	s.mu.Unlock()
+	return st
 }
 
 // proofFetch serves one PROOF request. The snapshot is taken

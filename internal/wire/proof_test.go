@@ -363,3 +363,65 @@ func TestProofFetchV1Refused(t *testing.T) {
 		t.Fatalf("v1 FetchProof: err = %v, want named-dataset refusal", err)
 	}
 }
+
+// TestProofCacheInvalidatedOnDrop: dropping a dataset purges its cached
+// proofs. A recreated dataset restarts its version counter, so the
+// cache key (name, version, query) collides with the old entries — a
+// stale entry would serve the OLD dataset's proof for the NEW data.
+// Regression test for the engine drop path never invalidating the
+// cache (the hook wired by hookEngineLocked).
+func TestProofCacheInvalidatedOnDrop(t *testing.T) {
+	eng := engine.New(f61, 0)
+	srv := &Server{F: f61, Engine: eng}
+	addr, stop := startServerOpts(t, srv)
+	defer stop()
+
+	const u = 512
+	ups1 := stream.UnitIncrements(u, 80, field.NewSplitMix64(950))
+	ups2 := stream.UnitIncrements(u, 80, field.NewSplitMix64(951))
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.OpenDataset("regen", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(ups1); err != nil {
+		t.Fatal(err)
+	}
+	pf1, err := c.FetchProof(QuerySelfJoinSize, QueryParams{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop out-of-band (an operator, another tenant) and recreate the
+	// name with different data, landing on the same version number.
+	eng.Drop("regen")
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if count, err := c2.OpenDataset("regen", u); err != nil || count != 0 {
+		t.Fatalf("recreate after drop: count = %d, err = %v", count, err)
+	}
+	if _, err := c2.Ingest(ups2); err != nil {
+		t.Fatal(err)
+	}
+	pf2, err := c2.FetchProof(QuerySelfJoinSize, QueryParams{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf1.Version != pf2.Version {
+		t.Fatalf("versions %d vs %d: the key collision this test exists for is gone", pf1.Version, pf2.Version)
+	}
+	if bytes.Equal(pf1.Encode(), pf2.Encode()) {
+		t.Fatal("cache served the dropped dataset's proof for the recreated dataset")
+	}
+	v := streamedVerifier(t, pf2.Binding, QuerySelfJoinSize, QueryParams{}, ups2)
+	if err := pf2.Binding.Verify(pf2, v); err != nil {
+		t.Fatalf("recreated dataset's proof rejected offline: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+// The public seam over the codec layer: everything a protocol
+// intermediary needs to speak the wire format without importing the
+// frames package. The shard router (internal/shard) is the intended
+// consumer — it embeds FlowState to enforce per-connection frame
+// legality exactly as the server would, and ChannelPins to route
+// channel-scoped frames, while the byte layouts stay reachable through
+// the re-exports below. Only internal/wire/... may import frames
+// directly; everything else goes through this file (enforced by a test
+// in frames and a CI grep).
+package wire
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/wire/frames"
+)
+
+// Frame type constants, re-exported for protocol intermediaries.
+const (
+	FrameHello     = frames.Hello
+	FrameUpdates   = frames.Updates
+	FrameEndStream = frames.EndStream
+	FrameQuery     = frames.Query
+	FrameProver    = frames.Prover
+	FrameChallenge = frames.Challenge
+	FrameFinish    = frames.Finish
+	FrameError     = frames.Error
+	FrameOpen      = frames.Open
+	FrameOK        = frames.OK
+	FrameBudget    = frames.Budget
+
+	FrameQueryCh     = frames.QueryCh
+	FrameChallengeCh = frames.ChallengeCh
+	FrameProverCh    = frames.ProverCh
+	FrameFinishCh    = frames.FinishCh
+	FrameErrorCh     = frames.ErrorCh
+	FrameBudgetCh    = frames.BudgetCh
+
+	FrameProofReqCh = frames.ProofReqCh
+	FrameProofCh    = frames.ProofCh
+
+	FrameHandoff   = frames.Handoff
+	FrameAdopt     = frames.Adopt
+	FrameStatsReq  = frames.StatsReq
+	FrameStatsResp = frames.StatsResp
+)
+
+// WriteFrame sends one frame: [uint32 length][uint8 type][payload].
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	return frames.WriteFrame(w, typ, payload)
+}
+
+// ReadFrame receives one frame, bounding its size to the protocol
+// maximum (64 MiB).
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	return frames.ReadFrame(r)
+}
+
+// DecodeOpen parses an open frame into the dataset name and universe
+// size — what a router needs to place the dataset on a shard.
+func DecodeOpen(b []byte) (name string, u uint64, err error) {
+	return frames.DecodeOpen(b)
+}
+
+// EncodeName lays out a handoff/adopt frame payload.
+func EncodeName(name string) []byte { return frames.EncodeName(name) }
+
+// DecodeName parses a handoff/adopt frame payload.
+func DecodeName(b []byte) (string, error) { return frames.DecodeName(b) }
+
+// DecodeCount parses an OK ack payload (a dataset update count).
+func DecodeCount(b []byte) (uint64, error) { return frames.DecodeCount(b) }
+
+// ChannelID extracts the channel id from a channel-scoped frame payload
+// (frames FrameQueryCh..FrameProofCh) without touching the body.
+func ChannelID(payload []byte) (uint32, error) {
+	id, _, err := frames.DecodeChannel(payload)
+	return id, err
+}
+
+// ChannelScoped reports whether typ is a channel-scoped frame (its
+// payload begins with a uint32 channel id).
+func ChannelScoped(typ byte) bool { return frames.ChannelScoped(typ) }
+
+// ---------------------------------------------------------------------
+// FlowState: the per-connection frame state machine.
+
+// connState is the frame state machine: which frames are legal next.
+type connState int
+
+const (
+	connStart  connState = iota // nothing received: expect hello or open
+	connV1Load                  // v1 upload in progress
+	connV1Done                  // v1 upload finished: queries only
+	connV2                      // attached to a named dataset
+)
+
+// FlowState tracks one connection's position in the protocol and
+// decides which frame types are legal next. It is the state machine the
+// server's read loop runs; the shard router embeds its own so a frame
+// the server would refuse is refused at the proxy, with the same error,
+// before it ever reaches a shard. The zero value is the start state.
+//
+// Advance both checks legality and applies the state transition the
+// frame implies. Callers treat an error as connection-fatal (exactly as
+// the server does), so a transition optimistically applied before the
+// frame's work completes can never be observed in a bad state.
+type FlowState struct {
+	st connState
+}
+
+// Advance validates typ against the current state and moves the state
+// machine. The error strings are the server's canonical refusals.
+func (f *FlowState) Advance(typ byte) error {
+	switch typ {
+	case frameHello:
+		if f.st != connStart {
+			return fmt.Errorf("%w: hello after the stream started", ErrProtocol)
+		}
+		f.st = connV1Load
+	case frameOpen:
+		if f.st != connStart && f.st != connV2 {
+			return fmt.Errorf("%w: open on a v1 connection", ErrProtocol)
+		}
+		f.st = connV2
+	case frameUpdates:
+		if f.st != connV1Load && f.st != connV2 {
+			return fmt.Errorf("%w: updates outside an upload phase", ErrProtocol)
+		}
+	case frameEndStream:
+		if f.st != connV1Load {
+			return fmt.Errorf("%w: end-of-stream outside a v1 upload", ErrProtocol)
+		}
+		f.st = connV1Done
+	case frameQuery:
+		if f.st != connV1Done && f.st != connV2 {
+			return fmt.Errorf("%w: query before end of stream", ErrProtocol)
+		}
+	case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh:
+		if f.st != connV1Done && f.st != connV2 {
+			return fmt.Errorf("%w: conversation frame before queries are allowed", ErrProtocol)
+		}
+	case frameHandoff, frameAdopt, frameStatsReq:
+		// Admin frames are legal in any state and change none: a handoff
+		// names an engine dataset, not the connection's attachment.
+	default:
+		return fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+	return nil
+}
+
+// V1 reports whether the connection took the v1 private-dataset flow.
+func (f *FlowState) V1() bool { return f.st == connV1Load || f.st == connV1Done }
+
+// Attached reports whether the connection can carry conversation
+// frames: a v2 attach or a completed v1 upload.
+func (f *FlowState) Attached() bool { return f.st == connV1Done || f.st == connV2 }
+
+// ---------------------------------------------------------------------
+// ChannelPins: the channel-id routing table.
+
+// ChannelPins maps live channel ids to an owner (the server pins a
+// conversation goroutine's inbox, the router pins a backend
+// connection), with the mux protocol's tombstone discipline for failed
+// channels: lock-step means at most one client frame can cross a
+// channel-error on the wire, so a frame for a recently failed id is
+// silently dropped (consuming the tombstone) while a frame for a
+// never-opened id is a protocol violation. The tombstone set is bounded
+// to the newest maxDeadChannels failures. All methods are safe for
+// concurrent use.
+type ChannelPins struct {
+	mu        sync.Mutex
+	open      map[uint32]*pinEntry
+	dead      map[uint32]struct{}
+	deadOrder []uint32
+	active    int
+}
+
+type pinEntry struct {
+	owner any
+	// released records that this channel's concurrency slot was already
+	// returned: the read loop releases the slot the moment the finish
+	// frame arrives — not when the owner gets around to retiring the
+	// channel — so a strictly serial client at the concurrency cap is
+	// never spuriously refused.
+	released bool
+}
+
+// maxDeadChannels bounds the tombstone set per connection. A stray
+// frame, if one is ever in flight, arrives immediately behind the error
+// that orphaned it; tombstones deeper than this are stale.
+const maxDeadChannels = 128
+
+// NewChannelPins returns an empty routing table.
+func NewChannelPins() *ChannelPins {
+	return &ChannelPins{open: make(map[uint32]*pinEntry), dead: make(map[uint32]struct{})}
+}
+
+// removeTombstoneLocked consumes a tombstone from both the set and the
+// FIFO, so a pruned slot can never evict a fresh tombstone for a reused
+// id. Caller holds p.mu.
+func (p *ChannelPins) removeTombstoneLocked(id uint32) {
+	if _, ok := p.dead[id]; !ok {
+		return
+	}
+	delete(p.dead, id)
+	for i, d := range p.deadOrder {
+		if d == id {
+			p.deadOrder = append(p.deadOrder[:i], p.deadOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Open registers id with its owner, consuming any tombstone for the
+// reused id. A duplicate id is a protocol violation; an open past a
+// positive limit reports ok == false with no error (the caller refuses
+// the channel with a budget frame — a resource refusal, not a
+// violation).
+func (p *ChannelPins) Open(id uint32, owner any, limit int) (ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.open[id]; dup {
+		return false, fmt.Errorf("%w: channel %d is already open", ErrProtocol, id)
+	}
+	p.removeTombstoneLocked(id) // the id is being reused; the stray never came
+	if limit > 0 && p.active >= limit {
+		return false, nil
+	}
+	p.open[id] = &pinEntry{owner: owner}
+	p.active++
+	return true, nil
+}
+
+// Route resolves the owner for an inbound frame on id. finish marks the
+// frame as the channel's finish, releasing its concurrency slot
+// immediately. A nil owner with ok == true means a tombstone absorbed
+// the frame (drop it silently); ok == false means the id was never
+// opened (a protocol violation the caller reports).
+func (p *ChannelPins) Route(id uint32, finish bool) (owner any, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.open[id]; e != nil {
+		if finish && !e.released {
+			e.released = true
+			p.active--
+		}
+		return e.owner, true
+	}
+	if _, dead := p.dead[id]; dead {
+		p.removeTombstoneLocked(id)
+		return nil, true
+	}
+	return nil, false
+}
+
+// Retire unregisters id if it is still pinned to owner (a reused id
+// pinned to a newer owner is left alone), returning its concurrency
+// slot if the finish frame did not already. When failed is set, the id
+// is tombstoned so the one in-flight frame lock-step permits is dropped
+// rather than treated as a violation.
+func (p *ChannelPins) Retire(id uint32, owner any, failed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.open[id]; e != nil && e.owner == owner {
+		delete(p.open, id)
+		if !e.released {
+			e.released = true
+			p.active--
+		}
+	}
+	if failed {
+		if _, ok := p.dead[id]; !ok {
+			p.dead[id] = struct{}{}
+			p.deadOrder = append(p.deadOrder, id)
+			if len(p.deadOrder) > maxDeadChannels {
+				delete(p.dead, p.deadOrder[0])
+				p.deadOrder = p.deadOrder[1:]
+			}
+		}
+	}
+}
+
+// Active reports how many channels currently hold a concurrency slot.
+func (p *ChannelPins) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}

@@ -1,0 +1,606 @@
+// The prover service: listener lifecycle, per-connection read loop, and
+// the serial (pre-mux) conversation path. Frame legality is delegated
+// to FlowState (seam.go) and byte layouts to the frames codec; this
+// file owns policy — admission, budgets, dataset lifecycle, and the
+// admin plane (handoff/adopt/stats).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/proofcache"
+)
+
+// Server is the cloud-side prover service. Datasets are maintained
+// aggregate state: per-connection for the v1 flow, shared through Engine
+// for the v2 named-dataset flow. Provers are constructed from snapshots —
+// the stream is ingested once and never replayed.
+type Server struct {
+	F field.Field
+	// Workers is handed to every prover the server builds: 0 proves each
+	// query serially, n > 0 fans the prover's table scans across n
+	// goroutines, n < 0 uses runtime.NumCPU(). Transcripts are identical
+	// either way; only latency changes.
+	Workers int
+	// Engine holds the named datasets served to v2 connections. Leave nil
+	// to have the server create one on first use; share one Engine to
+	// serve the same datasets from several listeners.
+	Engine *engine.Engine
+	// IdleTimeout bounds how long the server waits for the next frame
+	// from (or write to) a client before abandoning the connection, so a
+	// stalled or malicious peer cannot pin a handler goroutine forever.
+	// Zero means no deadline.
+	IdleTimeout time.Duration
+	// MaxUniverse caps the universe size a client may announce with
+	// hello or open — a dataset allocates 16 bytes per universe entry up
+	// front, so without a cap one cheap frame could exhaust server
+	// memory. Zero selects DefaultMaxUniverse.
+	MaxUniverse uint64
+	// MaxPrivateDatasets caps how many v1 connections may hold a private
+	// dataset at once. Zero selects DefaultMaxPrivateDatasets; negative
+	// means no cap. It is a backstop: each v1 dataset's tables are also
+	// charged against the engine's Σ budget (MemBudget) at hello and
+	// released when the connection ends, so byte-level governance does
+	// not depend on this count.
+	MaxPrivateDatasets int
+	// MaxConcurrentQueries caps the multiplexed query conversations in
+	// flight per connection. An excess channel open is refused with a
+	// per-channel budget frame (the conversation fails typed as
+	// ErrBudget client-side; the connection and its other conversations
+	// continue). Zero selects DefaultMaxConcurrentQueries; negative
+	// means no cap.
+	MaxConcurrentQueries int
+	// MemBudget caps the engine's aggregate resident dataset memory in
+	// bytes (engine.SetBudget). When admission would exceed it, LRU
+	// datasets are evicted to DataDir; with no DataDir the open or
+	// ingest fails with a budget error frame. Zero means unlimited.
+	MemBudget int64
+	// DataDir is the checkpoint directory. When set, Serve configures
+	// the engine with it and recovers every checkpointed dataset before
+	// accepting connections, so a restarted server answers queries over
+	// its previous datasets with no re-ingestion.
+	DataDir string
+	// CheckpointEvery starts the engine's background checkpointer at
+	// that interval (requires DataDir): a crash loses at most the last
+	// interval of ingestion. Zero disables background checkpointing.
+	CheckpointEvery time.Duration
+	// ProofCacheBudget caps the bytes of encoded Fiat–Shamir proofs the
+	// server keeps for PROOF requests (see proof.go): one proof is
+	// generated per (dataset, version, query) and served to every
+	// verifier that asks. Zero selects DefaultProofCacheBudget; negative
+	// disables storage (requests still single-flight, nothing is kept).
+	ProofCacheBudget int64
+	// Corrupt, when non-nil, rewrites a clone of the maintained counts
+	// before proving — a hook for the dishonest-cloud experiments and
+	// tests. It applies to v1 connections only and costs O(u), not
+	// O(stream): no raw stream is retained anywhere in the server.
+	Corrupt func(counts []int64) []int64
+
+	proofCache *proofcache.Cache // lazily built by proofCacheRef; guarded by mu
+	mu         sync.Mutex
+	lns        map[net.Listener]struct{} // every listener currently being served
+	closed     bool
+	inited     bool                  // engine configured (budget/data dir/recovery) by Serve
+	ownEngine  bool                  // engine was created by this server (Close may close it)
+	hooked     bool                  // proof-cache drop hook registered on the engine
+	v1Alive    int                   // v1 connections currently holding a private dataset
+	conns      map[net.Conn]struct{} // connections with a live handler
+	handlers   sync.WaitGroup        // one per handler goroutine; drained by Close
+
+	recovered     int      // datasets recovered from DataDir at startup
+	recoveryFails []string // per-file failures of a partial recovery
+}
+
+// Serve accepts connections until the listener closes. Each connection is
+// served on its own goroutine. Before accepting, Serve applies the
+// server's resource/durability configuration to the engine (MemBudget,
+// DataDir with a recovery scan, CheckpointEvery); a failed recovery
+// refuses to serve rather than silently dropping datasets. After an
+// intentional Close, Serve returns ErrServerClosed rather than the
+// listener's "use of closed network connection" error.
+func (s *Server) Serve(ln net.Listener) error {
+	// As in net/http, Serve on an already-closed server refuses without
+	// touching (or registering) the caller's listener — a later Close must
+	// not close a listener the server never served.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	// Every listener being served is tracked in a set: Serve may be
+	// called concurrently on several listeners (sharing one engine), and
+	// Close must stop all of them, not just the most recent.
+	if s.lns == nil {
+		s.lns = make(map[net.Listener]struct{})
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	if err := s.engineInit(); err != nil {
+		// A Serve that never accepted must not leave the listener
+		// registered: per the contract above, a later Close closes only
+		// listeners the server actually served.
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		return err
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			if !closed {
+				// The listener died on its own; it is no longer served,
+				// so a later Close must not touch it.
+				delete(s.lns, ln)
+			}
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			// Close already snapshotted the registry; don't start a
+			// handler it would not drain.
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.handlers.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				typ := byte(frameError)
+				if errors.Is(err, engine.ErrBudget) {
+					typ = frameBudget
+				}
+				_ = s.write(conn, typ, []byte(err.Error()))
+			}
+		}()
+	}
+}
+
+// engineInit configures the engine once per server: budget, data dir,
+// startup recovery of checkpointed datasets, background checkpointing.
+// It runs under the server lock, so Serve never accepts before recovery
+// finishes, and inited is set only on success — a failed init (say, an
+// unwritable data dir) is retried by the next Serve instead of being
+// silently skipped.
+func (s *Server) engineInit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inited {
+		return nil
+	}
+	if s.Engine == nil {
+		s.Engine = engine.New(s.F, s.Workers)
+		s.Engine.SetMaxDatasets(DefaultMaxDatasets)
+		s.ownEngine = true
+	}
+	eng := s.Engine
+	s.hookEngineLocked(eng)
+	if s.MemBudget > 0 {
+		eng.SetBudget(s.MemBudget)
+	}
+	if s.DataDir != "" {
+		if err := eng.SetDataDir(s.DataDir); err != nil {
+			return fmt.Errorf("wire: data dir: %w", err)
+		}
+		n, err := eng.Recover()
+		s.recovered = n
+		if err != nil {
+			if !errors.Is(err, engine.ErrPartialRecovery) {
+				// A damaged file must not take the server down (its healthy
+				// datasets were still registered — skip semantics); only a
+				// scan-level failure refuses to serve.
+				return fmt.Errorf("wire: recovering datasets: %w", err)
+			}
+			// A half-recovered shard must be visible to the operator, not
+			// just logged and forgotten: retain each file's failure for
+			// Stats() and the startup log.
+			s.recoveryFails = recoveryFailures(err)
+		}
+		if s.CheckpointEvery > 0 {
+			if err := eng.StartCheckpointer(s.CheckpointEvery); err != nil && !errors.Is(err, engine.ErrCheckpointerRunning) {
+				// Already-running is fine: another listener sharing this
+				// engine started it.
+				return fmt.Errorf("wire: checkpointer: %w", err)
+			}
+		}
+	}
+	s.inited = true
+	return nil
+}
+
+// hookEngineLocked registers the proof-cache invalidation hook on the
+// engine, once: a dropped-and-recreated dataset restarts its version
+// counter, so any proof cached under the old life's (name, version,
+// query) keys would answer for different data. Caller holds s.mu.
+func (s *Server) hookEngineLocked(eng *engine.Engine) {
+	if s.hooked {
+		return
+	}
+	s.hooked = true
+	eng.OnDrop(func(name string) {
+		s.proofCacheRef().DropDataset(name)
+	})
+}
+
+// recoveryFailures flattens an ErrPartialRecovery chain into one string
+// per unrecovered file.
+func recoveryFailures(err error) []string {
+	var out []string
+	var walk func(e error, depth int)
+	walk = func(e error, depth int) {
+		if e == nil || errors.Is(engine.ErrPartialRecovery, e) || depth > 4 {
+			return
+		}
+		if u, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, c := range u.Unwrap() {
+				walk(c, depth+1)
+			}
+			return
+		}
+		out = append(out, e.Error())
+	}
+	walk(err, 0)
+	return out
+}
+
+// Close stops every served listener, closes every live connection, and waits for
+// the handler goroutines to drain before any final persistence; a Serve
+// in flight (or started later) returns ErrServerClosed. Close is
+// idempotent — each served listener is closed at most once. If this
+// server created its own engine and configured persistence (DataDir),
+// Close then also closes the engine — the background checkpointer stops
+// and dirty datasets are persisted one final time. Because the drain
+// happens first, no handler can be mid-IngestColumns when that final
+// persist runs: every batch folded (and, on v2, acknowledged) before
+// shutdown is captured, making an orderly shutdown genuinely loss-free.
+// A caller-supplied Engine is left running (it may be shared with other
+// listeners); its owner calls engine.Close — after this Close returns,
+// with no handler still folding.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lns := make([]net.Listener, 0, len(s.lns))
+	for ln := range s.lns {
+		lns = append(lns, ln)
+	}
+	s.lns = nil
+	eng := s.Engine
+	persist := s.ownEngine && s.inited && s.DataDir != ""
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var lnErr error
+	for _, ln := range lns {
+		lnErr = errors.Join(lnErr, ln.Close())
+	}
+	// Interrupt handlers blocked on socket reads (a closed conn fails the
+	// next read; an in-flight IngestColumns still completes), then wait
+	// them all out.
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.handlers.Wait()
+	if persist && eng != nil {
+		if err := eng.Close(); err != nil {
+			return err
+		}
+	}
+	return lnErr
+}
+
+// engineRef returns the shared engine, creating it (with the default
+// dataset cap) on first use.
+func (s *Server) engineRef() *engine.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Engine == nil {
+		s.Engine = engine.New(s.F, s.Workers)
+		s.Engine.SetMaxDatasets(DefaultMaxDatasets)
+		s.ownEngine = true
+	}
+	s.hookEngineLocked(s.Engine)
+	return s.Engine
+}
+
+// checkUniverse enforces the server's universe-size cap.
+func (s *Server) checkUniverse(u uint64) error {
+	limit := s.MaxUniverse
+	if limit == 0 {
+		limit = DefaultMaxUniverse
+	}
+	if u > limit {
+		return fmt.Errorf("%w: universe %d exceeds the server limit %d", ErrProtocol, u, limit)
+	}
+	return nil
+}
+
+// acquireV1 reserves a private-dataset slot for a v1 connection;
+// releaseV1 returns it when the connection ends. Exhaustion is a
+// resource refusal ("server full, retry later"), not a protocol
+// violation, so it is typed ErrBudget and travels as a budget frame.
+func (s *Server) acquireV1() error {
+	limit := s.MaxPrivateDatasets
+	if limit == 0 {
+		limit = DefaultMaxPrivateDatasets
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit > 0 && s.v1Alive >= limit {
+		return fmt.Errorf("%w: too many concurrent private datasets (limit %d)", ErrBudget, limit)
+	}
+	s.v1Alive++
+	return nil
+}
+
+func (s *Server) releaseV1() {
+	s.mu.Lock()
+	s.v1Alive--
+	s.mu.Unlock()
+}
+
+// read receives one frame, applying the idle deadline.
+func (s *Server) read(conn net.Conn) (byte, []byte, error) {
+	if s.IdleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	return readFrame(conn)
+}
+
+// write sends one frame, applying the idle deadline.
+func (s *Server) write(conn net.Conn, typ byte, payload []byte) error {
+	if s.IdleTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+			return err
+		}
+	}
+	return writeFrame(conn, typ, payload)
+}
+
+// handle is one connection's read loop. Frame legality is FlowState's
+// (the same machine the shard router runs at its edge); each case body
+// owns only the frame's work.
+func (s *Server) handle(conn net.Conn) error {
+	var flow FlowState
+	var ds *engine.Dataset // v1: private; v2: shared named dataset
+	v1Slot := false
+	var v1Bytes int64 // budget reservation held by this connection's private dataset
+	mux := newConnMux(s, conn)
+	defer func() {
+		// Unblock and drain this connection's conversation goroutines
+		// before the handler's caller writes any final error frame or
+		// closes the socket.
+		mux.shutdown()
+		if v1Bytes > 0 {
+			s.engineRef().ReleaseBytes(v1Bytes)
+		}
+		if v1Slot {
+			s.releaseV1()
+			// A v1 private dataset is anonymous and can never reach the
+			// proof cache (proofFetch refuses the flow before the cache is
+			// touched), but its release mirrors the named-dataset drop path
+			// defensively: if a private-dataset cache path ever appears,
+			// its entries die with the connection instead of leaking across
+			// connections under the empty name.
+			s.mu.Lock()
+			pc := s.proofCache
+			s.mu.Unlock()
+			if pc != nil {
+				pc.DropDataset("")
+			}
+		}
+	}()
+	for {
+		typ, payload, err := s.read(conn)
+		if err != nil {
+			return err
+		}
+		if err := flow.Advance(typ); err != nil {
+			return err
+		}
+		switch typ {
+		case frameHello:
+			if len(payload) != 8 {
+				return fmt.Errorf("%w: hello frame", ErrProtocol)
+			}
+			u := binary.LittleEndian.Uint64(payload)
+			if err := s.checkUniverse(u); err != nil {
+				return err
+			}
+			if err := s.acquireV1(); err != nil {
+				return err
+			}
+			v1Slot = true
+			// The private dataset's tables are charged against the same Σ
+			// budget as the named datasets (LRU names may be evicted to
+			// admit it); the reservation is released when the connection
+			// ends. A refusal reaches the client as a budget frame.
+			cost, err := engine.TableCost(u)
+			if err != nil {
+				return err
+			}
+			if err := s.engineRef().AdmitBytes(cost); err != nil {
+				return err
+			}
+			v1Bytes = cost
+			// Honest or cheating, the connection maintains only the dense
+			// aggregate state: O(u) memory, independent of stream length.
+			if ds, err = engine.NewDataset(s.F, u, s.Workers); err != nil {
+				return err
+			}
+			if err := mux.write(frameOK, encodeCount(0)); err != nil {
+				return err
+			}
+		case frameOpen:
+			name, uu, err := decodeOpen(payload)
+			if err != nil {
+				return err
+			}
+			if err := s.checkUniverse(uu); err != nil {
+				return err
+			}
+			if ds, err = s.engineRef().Open(name, uu); err != nil {
+				return err
+			}
+			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
+				return err
+			}
+		case frameUpdates:
+			idx, deltas, err := decodeUpdateColumns(payload)
+			if err != nil {
+				return err
+			}
+			if err := ds.IngestColumns(idx, deltas); err != nil {
+				return err
+			}
+			if !flow.V1() {
+				if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
+					return err
+				}
+			}
+		case frameEndStream:
+			// The ack closes the v1 upload's only unacknowledged window:
+			// any ingest failure has already killed the connection by now,
+			// so a client that reads this OK knows every batch folded.
+			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
+				return err
+			}
+		case frameQuery:
+			kind, params, err := decodeQuery(payload)
+			if err != nil {
+				return err
+			}
+			// Snapshots rehydrate evicted datasets transparently; the
+			// admission control inside can refuse with a budget error.
+			snap, err := ds.SnapshotErr()
+			if err != nil {
+				return err
+			}
+			session, err := s.buildSession(snap, ds, flow.st, kind, params)
+			if err != nil {
+				return err
+			}
+			if err := s.converse(conn, mux, session); err != nil {
+				return err
+			}
+		case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh:
+			if err := mux.dispatch(typ, payload, ds, flow.st); err != nil {
+				return err
+			}
+		case frameHandoff:
+			name, err := decodeName(payload)
+			if err != nil {
+				return err
+			}
+			n, err := s.engineRef().Release(name)
+			if err != nil {
+				return err
+			}
+			if err := mux.write(frameOK, encodeCount(n)); err != nil {
+				return err
+			}
+		case frameAdopt:
+			name, err := decodeName(payload)
+			if err != nil {
+				return err
+			}
+			n, err := s.engineRef().Adopt(name)
+			if err != nil {
+				return err
+			}
+			if err := mux.write(frameOK, encodeCount(n)); err != nil {
+				return err
+			}
+		case frameStatsReq:
+			b, err := json.Marshal(s.Stats())
+			if err != nil {
+				return err
+			}
+			if err := mux.write(frameStatsResp, b); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// buildSession constructs the prover session for one query from an
+// already-taken snapshot — shared by the serial and multiplexed
+// conversation paths so they can never diverge. On the v1 path a
+// configured Corrupt hook rewrites a clone of the maintained counts
+// first — the dishonest cloud proves from doctored state.
+func (s *Server) buildSession(snap *engine.Snapshot, ds *engine.Dataset, st connState, kind QueryKind, params QueryParams) (core.ProverSession, error) {
+	if st == connV1Done && s.Corrupt != nil {
+		counts := s.Corrupt(append([]int64(nil), snap.Counts()...))
+		var err error
+		if snap, err = engine.SnapshotFromCounts(s.F, ds.UniverseSize(), s.Workers, counts); err != nil {
+			return nil, err
+		}
+	}
+	return snap.NewProver(kind, params)
+}
+
+// converse drives one serial (pre-mux) query conversation from the
+// prover side: the read loop is parked here until the client finishes.
+func (s *Server) converse(conn net.Conn, mux *connMux, p core.ProverSession) error {
+	opening, err := p.Open()
+	if err != nil {
+		return err
+	}
+	if err := mux.write(frameProver, encodeMsg(opening)); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := s.read(conn)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameFinish:
+			return nil
+		case frameChallenge:
+			ch, err := decodeMsg(payload)
+			if err != nil {
+				return err
+			}
+			resp, err := p.Step(ch)
+			if err != nil {
+				return err
+			}
+			if err := mux.write(frameProver, encodeMsg(resp)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame 0x%02x mid-conversation", ErrProtocol, typ)
+		}
+	}
+}

@@ -32,58 +32,30 @@
 // any number of overlapped conversations while ingestion keeps flowing
 // between their frames (see mux.go and Client.QueryAsync).
 //
-// Framing: every frame is [uint32 length][uint8 type][payload], payloads
-// little-endian via encoding/binary. Protocol messages (core.Msg) are
-// encoded as [uint32 nInts][uint32 nElems][ints…][elems…]. Channel
-// frames prefix the payload with a uint32 channel id.
+// # Layering
+//
+// The package is split into layers, bottom up (see also seam.go):
+//
+//	frames (internal/wire/frames)  codec: framing + payload layouts
+//	codec.go                       unexported aliases onto frames
+//	seam.go                        FlowState + ChannelPins + re-exports
+//	server.go, mux.go, proof.go    the prover service
+//	client.go, mux.go, proof.go    the verifier client
+//
+// The frames package owns every byte layout; FlowState owns which frame
+// is legal next on a connection; ChannelPins owns the channel-id
+// routing table. The server, the client, and the shard router
+// (internal/shard) are all built from those three pieces, so a proxy
+// between a client and a server enforces exactly the rules the server
+// would. Only internal/wire/... imports frames directly — everything
+// else goes through the exported seam (enforced by a frames test and
+// CI).
 package wire
 
 import (
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"io"
-	"math"
-	"net"
-	"os"
-	"sync"
-	"time"
 
-	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/field"
-	"repro/internal/gkr"
-	"repro/internal/proofcache"
-	"repro/internal/stream"
-)
-
-// Frame types. Frames 0x01–0x0b are connection-scoped (the implicit
-// control channel); frames 0x0c–0x13 are the mux revision's
-// channel-scoped conversation frames, whose payload begins with a
-// uint32 channel id (see mux.go).
-const (
-	frameHello     = 0x01 // client→server: universe size (v1, private dataset)
-	frameUpdates   = 0x02 // client→server: batch of (index, delta)
-	frameEndStream = 0x03 // client→server: v1 upload finished (acked with frameOK)
-	frameQuery     = 0x04 // client→server: query kind + parameters (serial conversation)
-	frameProver    = 0x05 // server→client: prover message (serial conversation)
-	frameChallenge = 0x06 // client→server: verifier challenge (serial conversation)
-	frameFinish    = 0x07 // client→server: conversation over (serial conversation)
-	frameError     = 0x08 // server→client: connection-fatal error text
-	frameOpen      = 0x09 // client→server: attach to named dataset (v2)
-	frameOK        = 0x0a // server→client: ack with dataset update count
-	frameBudget    = 0x0b // server→client: admission refused, memory budget exhausted
-
-	frameQueryCh     = 0x0c // client→server: open conversation channel [ch][query]
-	frameChallengeCh = 0x0d // client→server: verifier challenge [ch][msg]
-	frameProverCh    = 0x0e // server→client: prover message [ch][msg]
-	frameFinishCh    = 0x0f // client→server: conversation over [ch]
-	frameErrorCh     = 0x10 // server→client: channel failed [ch][text]; connection survives
-	frameBudgetCh    = 0x11 // server→client: channel refused, budget/cap exhausted [ch][text]
-
-	frameProofReqCh = 0x12 // client→server: fetch the posted proof [ch][version][query]
-	frameProofCh    = 0x13 // server→client: encoded Fiat–Shamir proof [ch][proof]
 )
 
 // QueryKind enumerates the queries the server answers; the values live in
@@ -110,16 +82,6 @@ const (
 // QueryParams carries the per-kind parameters; unused fields are zero.
 type QueryParams = engine.QueryParams
 
-// maxFrame bounds a single frame (64 MiB) to fail fast on corruption.
-const maxFrame = 64 << 20
-
-// maxDatasetName bounds the name carried by an open frame.
-const maxDatasetName = 255
-
-// maxCircuitName bounds the circuit family name a CIRCUIT query frame
-// may carry; registry names are short, so anything longer is garbage.
-const maxCircuitName = 64
-
 // DefaultMaxUniverse is the universe-size cap applied when
 // Server.MaxUniverse is zero: 2^26 entries ≈ 1 GiB of maintained state
 // per dataset. Deployments with bigger datasets raise the knob.
@@ -143,9 +105,6 @@ const DefaultMaxPrivateDatasets = 32
 // table views), so the cap bounds what a single connection can demand.
 const DefaultMaxConcurrentQueries = 64
 
-// ErrProtocol reports a malformed or unexpected frame.
-var ErrProtocol = errors.New("wire: protocol error")
-
 // ErrBudget is the engine's admission failure: the server's resident
 // memory budget is exhausted and eviction could not make room. It
 // travels the wire as its own frame type, so a client distinguishes
@@ -157,1271 +116,3 @@ var ErrBudget = engine.ErrBudget
 // mirroring net/http.ErrServerClosed: an intentional shutdown is not a
 // transport failure and callers can distinguish it with errors.Is.
 var ErrServerClosed = errors.New("wire: server closed")
-
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	var head [5]byte
-	binary.LittleEndian.PutUint32(head[:4], uint32(len(payload)))
-	head[4] = typ
-	if _, err := w.Write(head[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-func readFrame(r io.Reader) (byte, []byte, error) {
-	var head [5]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return 0, nil, err
-	}
-	n := binary.LittleEndian.Uint32(head[:4])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
-	}
-	return head[4], payload, nil
-}
-
-func encodeMsg(m core.Msg) []byte {
-	out := make([]byte, 8+8*len(m.Ints)+8*len(m.Elems))
-	binary.LittleEndian.PutUint32(out[0:4], uint32(len(m.Ints)))
-	binary.LittleEndian.PutUint32(out[4:8], uint32(len(m.Elems)))
-	off := 8
-	for _, v := range m.Ints {
-		binary.LittleEndian.PutUint64(out[off:], v)
-		off += 8
-	}
-	for _, e := range m.Elems {
-		binary.LittleEndian.PutUint64(out[off:], uint64(e))
-		off += 8
-	}
-	return out
-}
-
-func decodeMsg(b []byte) (core.Msg, error) {
-	if len(b) < 8 {
-		return core.Msg{}, fmt.Errorf("%w: short message header", ErrProtocol)
-	}
-	nInts := binary.LittleEndian.Uint32(b[0:4])
-	nElems := binary.LittleEndian.Uint32(b[4:8])
-	// Bound the section counts before any size arithmetic: on 32-bit
-	// platforms a crafted header can overflow `want` (8 + 8*nInts +
-	// 8*nElems in int) into a small value, or force a giant allocation
-	// before the length check below runs. Nothing legitimate exceeds
-	// maxFrame/8 words per section.
-	const maxWords = maxFrame / 8
-	if uint64(nInts) > maxWords || uint64(nElems) > maxWords {
-		return core.Msg{}, fmt.Errorf("%w: message header claims %d+%d words", ErrProtocol, nInts, nElems)
-	}
-	want := 8 + 8*int(nInts) + 8*int(nElems)
-	if len(b) != want {
-		return core.Msg{}, fmt.Errorf("%w: message body %d bytes, want %d", ErrProtocol, len(b), want)
-	}
-	var m core.Msg
-	off := 8
-	if nInts > 0 {
-		m.Ints = make([]uint64, nInts)
-		for i := range m.Ints {
-			m.Ints[i] = binary.LittleEndian.Uint64(b[off:])
-			off += 8
-		}
-	}
-	if nElems > 0 {
-		m.Elems = make([]field.Elem, nElems)
-		for i := range m.Elems {
-			m.Elems[i] = field.Elem(binary.LittleEndian.Uint64(b[off:]))
-			off += 8
-		}
-	}
-	return m, nil
-}
-
-// encodeQuery lays out a query frame: the fixed numeric parameter block,
-// then — for CIRCUIT queries only — the circuit family name in UTF-8.
-func encodeQuery(kind QueryKind, p QueryParams) []byte {
-	n := 1 + 8*4
-	if kind == QueryCircuit {
-		n += len(p.Circuit)
-	}
-	out := make([]byte, 1+8*4, n)
-	out[0] = byte(kind)
-	binary.LittleEndian.PutUint64(out[1:], p.A)
-	binary.LittleEndian.PutUint64(out[9:], p.B)
-	binary.LittleEndian.PutUint64(out[17:], uint64(p.K))
-	binary.LittleEndian.PutUint64(out[25:], math.Float64bits(p.Phi))
-	if kind == QueryCircuit {
-		out = append(out, p.Circuit...)
-	}
-	return out
-}
-
-func decodeQuery(b []byte) (QueryKind, QueryParams, error) {
-	if len(b) < 1+8*4 {
-		return 0, QueryParams{}, fmt.Errorf("%w: query frame %d bytes", ErrProtocol, len(b))
-	}
-	kind := QueryKind(b[0])
-	p := QueryParams{
-		A:   binary.LittleEndian.Uint64(b[1:]),
-		B:   binary.LittleEndian.Uint64(b[9:]),
-		K:   int64(binary.LittleEndian.Uint64(b[17:])),
-		Phi: math.Float64frombits(binary.LittleEndian.Uint64(b[25:])),
-	}
-	name := b[1+8*4:]
-	if kind == QueryCircuit {
-		if len(name) > maxCircuitName {
-			return 0, QueryParams{}, fmt.Errorf("%w: circuit name of %d bytes", ErrProtocol, len(name))
-		}
-		// An empty (or unknown) name is refused by the engine with a typed
-		// error, not by the codec: the frame itself is well-formed.
-		p.Circuit = string(name)
-	} else if len(name) != 0 {
-		return 0, QueryParams{}, fmt.Errorf("%w: query frame %d bytes", ErrProtocol, len(b))
-	}
-	return kind, p, nil
-}
-
-// encodeOpen lays out an open frame: the universe size, then the dataset
-// name in UTF-8.
-func encodeOpen(name string, u uint64) []byte {
-	out := make([]byte, 8+len(name))
-	binary.LittleEndian.PutUint64(out[:8], u)
-	copy(out[8:], name)
-	return out
-}
-
-func decodeOpen(b []byte) (name string, u uint64, err error) {
-	if len(b) < 9 {
-		return "", 0, fmt.Errorf("%w: open frame %d bytes", ErrProtocol, len(b))
-	}
-	if len(b)-8 > maxDatasetName {
-		return "", 0, fmt.Errorf("%w: dataset name of %d bytes", ErrProtocol, len(b)-8)
-	}
-	return string(b[8:]), binary.LittleEndian.Uint64(b[:8]), nil
-}
-
-func encodeCount(n uint64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], n)
-	return b[:]
-}
-
-func decodeCount(b []byte) (uint64, error) {
-	if len(b) != 8 {
-		return 0, fmt.Errorf("%w: count frame %d bytes", ErrProtocol, len(b))
-	}
-	return binary.LittleEndian.Uint64(b), nil
-}
-
-// decodeUpdateColumns splits an updates payload into index/delta columns,
-// the shape the engine's batch kernel ingests directly.
-func decodeUpdateColumns(payload []byte) (idx []uint64, deltas []int64, err error) {
-	if len(payload)%16 != 0 {
-		return nil, nil, fmt.Errorf("%w: update batch", ErrProtocol)
-	}
-	n := len(payload) / 16
-	idx = make([]uint64, n)
-	deltas = make([]int64, n)
-	for i := 0; i < n; i++ {
-		idx[i] = binary.LittleEndian.Uint64(payload[16*i:])
-		deltas[i] = int64(binary.LittleEndian.Uint64(payload[16*i+8:]))
-	}
-	return idx, deltas, nil
-}
-
-// ---------------------------------------------------------------------
-// Server
-
-// Server is the cloud-side prover service. Datasets are maintained
-// aggregate state: per-connection for the v1 flow, shared through Engine
-// for the v2 named-dataset flow. Provers are constructed from snapshots —
-// the stream is ingested once and never replayed.
-type Server struct {
-	F field.Field
-	// Workers is handed to every prover the server builds: 0 proves each
-	// query serially, n > 0 fans the prover's table scans across n
-	// goroutines, n < 0 uses runtime.NumCPU(). Transcripts are identical
-	// either way; only latency changes.
-	Workers int
-	// Engine holds the named datasets served to v2 connections. Leave nil
-	// to have the server create one on first use; share one Engine to
-	// serve the same datasets from several listeners.
-	Engine *engine.Engine
-	// IdleTimeout bounds how long the server waits for the next frame
-	// from (or write to) a client before abandoning the connection, so a
-	// stalled or malicious peer cannot pin a handler goroutine forever.
-	// Zero means no deadline.
-	IdleTimeout time.Duration
-	// MaxUniverse caps the universe size a client may announce with
-	// hello or open — a dataset allocates 16 bytes per universe entry up
-	// front, so without a cap one cheap frame could exhaust server
-	// memory. Zero selects DefaultMaxUniverse.
-	MaxUniverse uint64
-	// MaxPrivateDatasets caps how many v1 connections may hold a private
-	// dataset at once. Zero selects DefaultMaxPrivateDatasets; negative
-	// means no cap. It is a backstop: each v1 dataset's tables are also
-	// charged against the engine's Σ budget (MemBudget) at hello and
-	// released when the connection ends, so byte-level governance does
-	// not depend on this count.
-	MaxPrivateDatasets int
-	// MaxConcurrentQueries caps the multiplexed query conversations in
-	// flight per connection. An excess channel open is refused with a
-	// per-channel budget frame (the conversation fails typed as
-	// ErrBudget client-side; the connection and its other conversations
-	// continue). Zero selects DefaultMaxConcurrentQueries; negative
-	// means no cap.
-	MaxConcurrentQueries int
-	// MemBudget caps the engine's aggregate resident dataset memory in
-	// bytes (engine.SetBudget). When admission would exceed it, LRU
-	// datasets are evicted to DataDir; with no DataDir the open or
-	// ingest fails with a budget error frame. Zero means unlimited.
-	MemBudget int64
-	// DataDir is the checkpoint directory. When set, Serve configures
-	// the engine with it and recovers every checkpointed dataset before
-	// accepting connections, so a restarted server answers queries over
-	// its previous datasets with no re-ingestion.
-	DataDir string
-	// CheckpointEvery starts the engine's background checkpointer at
-	// that interval (requires DataDir): a crash loses at most the last
-	// interval of ingestion. Zero disables background checkpointing.
-	CheckpointEvery time.Duration
-	// ProofCacheBudget caps the bytes of encoded Fiat–Shamir proofs the
-	// server keeps for PROOF requests (see proof.go): one proof is
-	// generated per (dataset, version, query) and served to every
-	// verifier that asks. Zero selects DefaultProofCacheBudget; negative
-	// disables storage (requests still single-flight, nothing is kept).
-	ProofCacheBudget int64
-	// Corrupt, when non-nil, rewrites a clone of the maintained counts
-	// before proving — a hook for the dishonest-cloud experiments and
-	// tests. It applies to v1 connections only and costs O(u), not
-	// O(stream): no raw stream is retained anywhere in the server.
-	Corrupt func(counts []int64) []int64
-
-	proofCache *proofcache.Cache // lazily built by proofCacheRef; guarded by mu
-	mu         sync.Mutex
-	lns        map[net.Listener]struct{} // every listener currently being served
-	closed     bool
-	inited     bool                  // engine configured (budget/data dir/recovery) by Serve
-	ownEngine  bool                  // engine was created by this server (Close may close it)
-	v1Alive    int                   // v1 connections currently holding a private dataset
-	conns      map[net.Conn]struct{} // connections with a live handler
-	handlers   sync.WaitGroup        // one per handler goroutine; drained by Close
-}
-
-// Serve accepts connections until the listener closes. Each connection is
-// served on its own goroutine. Before accepting, Serve applies the
-// server's resource/durability configuration to the engine (MemBudget,
-// DataDir with a recovery scan, CheckpointEvery); a failed recovery
-// refuses to serve rather than silently dropping datasets. After an
-// intentional Close, Serve returns ErrServerClosed rather than the
-// listener's "use of closed network connection" error.
-func (s *Server) Serve(ln net.Listener) error {
-	// As in net/http, Serve on an already-closed server refuses without
-	// touching (or registering) the caller's listener — a later Close must
-	// not close a listener the server never served.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrServerClosed
-	}
-	// Every listener being served is tracked in a set: Serve may be
-	// called concurrently on several listeners (sharing one engine), and
-	// Close must stop all of them, not just the most recent.
-	if s.lns == nil {
-		s.lns = make(map[net.Listener]struct{})
-	}
-	s.lns[ln] = struct{}{}
-	s.mu.Unlock()
-	if err := s.engineInit(); err != nil {
-		// A Serve that never accepted must not leave the listener
-		// registered: per the contract above, a later Close closes only
-		// listeners the server actually served.
-		s.mu.Lock()
-		delete(s.lns, ln)
-		s.mu.Unlock()
-		return err
-	}
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			if !closed {
-				// The listener died on its own; it is no longer served,
-				// so a later Close must not touch it.
-				delete(s.lns, ln)
-			}
-			s.mu.Unlock()
-			if closed {
-				return ErrServerClosed
-			}
-			return err
-		}
-		s.mu.Lock()
-		if s.closed {
-			// Close already snapshotted the registry; don't start a
-			// handler it would not drain.
-			s.mu.Unlock()
-			conn.Close()
-			return ErrServerClosed
-		}
-		if s.conns == nil {
-			s.conns = make(map[net.Conn]struct{})
-		}
-		s.conns[conn] = struct{}{}
-		s.handlers.Add(1)
-		s.mu.Unlock()
-		go func() {
-			defer s.handlers.Done()
-			defer func() {
-				conn.Close()
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-			}()
-			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-				typ := byte(frameError)
-				if errors.Is(err, engine.ErrBudget) {
-					typ = frameBudget
-				}
-				_ = s.write(conn, typ, []byte(err.Error()))
-			}
-		}()
-	}
-}
-
-// engineInit configures the engine once per server: budget, data dir,
-// startup recovery of checkpointed datasets, background checkpointing.
-// It runs under the server lock, so Serve never accepts before recovery
-// finishes, and inited is set only on success — a failed init (say, an
-// unwritable data dir) is retried by the next Serve instead of being
-// silently skipped.
-func (s *Server) engineInit() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.inited {
-		return nil
-	}
-	if s.Engine == nil {
-		s.Engine = engine.New(s.F, s.Workers)
-		s.Engine.SetMaxDatasets(DefaultMaxDatasets)
-		s.ownEngine = true
-	}
-	eng := s.Engine
-	if s.MemBudget > 0 {
-		eng.SetBudget(s.MemBudget)
-	}
-	if s.DataDir != "" {
-		if err := eng.SetDataDir(s.DataDir); err != nil {
-			return fmt.Errorf("wire: data dir: %w", err)
-		}
-		if _, err := eng.Recover(); err != nil && !errors.Is(err, engine.ErrPartialRecovery) {
-			// A damaged file must not take the server down (its healthy
-			// datasets were still registered — skip semantics); only a
-			// scan-level failure refuses to serve.
-			return fmt.Errorf("wire: recovering datasets: %w", err)
-		}
-		if s.CheckpointEvery > 0 {
-			if err := eng.StartCheckpointer(s.CheckpointEvery); err != nil && !errors.Is(err, engine.ErrCheckpointerRunning) {
-				// Already-running is fine: another listener sharing this
-				// engine started it.
-				return fmt.Errorf("wire: checkpointer: %w", err)
-			}
-		}
-	}
-	s.inited = true
-	return nil
-}
-
-// Close stops every served listener, closes every live connection, and waits for
-// the handler goroutines to drain before any final persistence; a Serve
-// in flight (or started later) returns ErrServerClosed. Close is
-// idempotent — each served listener is closed at most once. If this
-// server created its own engine and configured persistence (DataDir),
-// Close then also closes the engine — the background checkpointer stops
-// and dirty datasets are persisted one final time. Because the drain
-// happens first, no handler can be mid-IngestColumns when that final
-// persist runs: every batch folded (and, on v2, acknowledged) before
-// shutdown is captured, making an orderly shutdown genuinely loss-free.
-// A caller-supplied Engine is left running (it may be shared with other
-// listeners); its owner calls engine.Close — after this Close returns,
-// with no handler still folding.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	lns := make([]net.Listener, 0, len(s.lns))
-	for ln := range s.lns {
-		lns = append(lns, ln)
-	}
-	s.lns = nil
-	eng := s.Engine
-	persist := s.ownEngine && s.inited && s.DataDir != ""
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	var lnErr error
-	for _, ln := range lns {
-		lnErr = errors.Join(lnErr, ln.Close())
-	}
-	// Interrupt handlers blocked on socket reads (a closed conn fails the
-	// next read; an in-flight IngestColumns still completes), then wait
-	// them all out.
-	for _, c := range conns {
-		_ = c.Close()
-	}
-	s.handlers.Wait()
-	if persist && eng != nil {
-		if err := eng.Close(); err != nil {
-			return err
-		}
-	}
-	return lnErr
-}
-
-// engineRef returns the shared engine, creating it (with the default
-// dataset cap) on first use.
-func (s *Server) engineRef() *engine.Engine {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.Engine == nil {
-		s.Engine = engine.New(s.F, s.Workers)
-		s.Engine.SetMaxDatasets(DefaultMaxDatasets)
-		s.ownEngine = true
-	}
-	return s.Engine
-}
-
-// checkUniverse enforces the server's universe-size cap.
-func (s *Server) checkUniverse(u uint64) error {
-	limit := s.MaxUniverse
-	if limit == 0 {
-		limit = DefaultMaxUniverse
-	}
-	if u > limit {
-		return fmt.Errorf("%w: universe %d exceeds the server limit %d", ErrProtocol, u, limit)
-	}
-	return nil
-}
-
-// acquireV1 reserves a private-dataset slot for a v1 connection;
-// releaseV1 returns it when the connection ends. Exhaustion is a
-// resource refusal ("server full, retry later"), not a protocol
-// violation, so it is typed ErrBudget and travels as a budget frame.
-func (s *Server) acquireV1() error {
-	limit := s.MaxPrivateDatasets
-	if limit == 0 {
-		limit = DefaultMaxPrivateDatasets
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if limit > 0 && s.v1Alive >= limit {
-		return fmt.Errorf("%w: too many concurrent private datasets (limit %d)", ErrBudget, limit)
-	}
-	s.v1Alive++
-	return nil
-}
-
-func (s *Server) releaseV1() {
-	s.mu.Lock()
-	s.v1Alive--
-	s.mu.Unlock()
-}
-
-// read receives one frame, applying the idle deadline.
-func (s *Server) read(conn net.Conn) (byte, []byte, error) {
-	if s.IdleTimeout > 0 {
-		if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
-			return 0, nil, err
-		}
-	}
-	return readFrame(conn)
-}
-
-// write sends one frame, applying the idle deadline.
-func (s *Server) write(conn net.Conn, typ byte, payload []byte) error {
-	if s.IdleTimeout > 0 {
-		if err := conn.SetWriteDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
-			return err
-		}
-	}
-	return writeFrame(conn, typ, payload)
-}
-
-// connState is the frame state machine: which frames are legal next.
-type connState int
-
-const (
-	connStart  connState = iota // nothing received: expect hello or open
-	connV1Load                  // v1 upload in progress
-	connV1Done                  // v1 upload finished: queries only
-	connV2                      // attached to a named dataset
-)
-
-func (s *Server) handle(conn net.Conn) error {
-	st := connStart
-	var ds *engine.Dataset // v1: private; v2: shared named dataset
-	v1Slot := false
-	var v1Bytes int64 // budget reservation held by this connection's private dataset
-	mux := newConnMux(s, conn)
-	defer func() {
-		// Unblock and drain this connection's conversation goroutines
-		// before the handler's caller writes any final error frame or
-		// closes the socket.
-		mux.shutdown()
-		if v1Bytes > 0 {
-			s.engineRef().ReleaseBytes(v1Bytes)
-		}
-		if v1Slot {
-			s.releaseV1()
-		}
-	}()
-	for {
-		typ, payload, err := s.read(conn)
-		if err != nil {
-			return err
-		}
-		switch typ {
-		case frameHello:
-			if st != connStart {
-				return fmt.Errorf("%w: hello after the stream started", ErrProtocol)
-			}
-			if len(payload) != 8 {
-				return fmt.Errorf("%w: hello frame", ErrProtocol)
-			}
-			u := binary.LittleEndian.Uint64(payload)
-			if err := s.checkUniverse(u); err != nil {
-				return err
-			}
-			if err := s.acquireV1(); err != nil {
-				return err
-			}
-			v1Slot = true
-			// The private dataset's tables are charged against the same Σ
-			// budget as the named datasets (LRU names may be evicted to
-			// admit it); the reservation is released when the connection
-			// ends. A refusal reaches the client as a budget frame.
-			cost, err := engine.TableCost(u)
-			if err != nil {
-				return err
-			}
-			if err := s.engineRef().AdmitBytes(cost); err != nil {
-				return err
-			}
-			v1Bytes = cost
-			// Honest or cheating, the connection maintains only the dense
-			// aggregate state: O(u) memory, independent of stream length.
-			if ds, err = engine.NewDataset(s.F, u, s.Workers); err != nil {
-				return err
-			}
-			st = connV1Load
-			if err := mux.write(frameOK, encodeCount(0)); err != nil {
-				return err
-			}
-		case frameOpen:
-			if st != connStart && st != connV2 {
-				return fmt.Errorf("%w: open on a v1 connection", ErrProtocol)
-			}
-			name, uu, err := decodeOpen(payload)
-			if err != nil {
-				return err
-			}
-			if err := s.checkUniverse(uu); err != nil {
-				return err
-			}
-			if ds, err = s.engineRef().Open(name, uu); err != nil {
-				return err
-			}
-			st = connV2
-			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
-				return err
-			}
-		case frameUpdates:
-			if st != connV1Load && st != connV2 {
-				return fmt.Errorf("%w: updates outside an upload phase", ErrProtocol)
-			}
-			idx, deltas, err := decodeUpdateColumns(payload)
-			if err != nil {
-				return err
-			}
-			if err := ds.IngestColumns(idx, deltas); err != nil {
-				return err
-			}
-			if st == connV2 {
-				if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
-					return err
-				}
-			}
-		case frameEndStream:
-			if st != connV1Load {
-				return fmt.Errorf("%w: end-of-stream outside a v1 upload", ErrProtocol)
-			}
-			st = connV1Done
-			// The ack closes the v1 upload's only unacknowledged window:
-			// any ingest failure has already killed the connection by now,
-			// so a client that reads this OK knows every batch folded.
-			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
-				return err
-			}
-		case frameQuery:
-			if st != connV1Done && st != connV2 {
-				return fmt.Errorf("%w: query before end of stream", ErrProtocol)
-			}
-			kind, params, err := decodeQuery(payload)
-			if err != nil {
-				return err
-			}
-			// Snapshots rehydrate evicted datasets transparently; the
-			// admission control inside can refuse with a budget error.
-			snap, err := ds.SnapshotErr()
-			if err != nil {
-				return err
-			}
-			session, err := s.buildSession(snap, ds, st, kind, params)
-			if err != nil {
-				return err
-			}
-			if err := s.converse(conn, mux, session); err != nil {
-				return err
-			}
-		case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh:
-			if err := mux.dispatch(typ, payload, ds, st); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
-		}
-	}
-}
-
-// buildSession constructs the prover session for one query from an
-// already-taken snapshot — shared by the serial and multiplexed
-// conversation paths so they can never diverge. On the v1 path a
-// configured Corrupt hook rewrites a clone of the maintained counts
-// first — the dishonest cloud proves from doctored state.
-func (s *Server) buildSession(snap *engine.Snapshot, ds *engine.Dataset, st connState, kind QueryKind, params QueryParams) (core.ProverSession, error) {
-	if st == connV1Done && s.Corrupt != nil {
-		counts := s.Corrupt(append([]int64(nil), snap.Counts()...))
-		var err error
-		if snap, err = engine.SnapshotFromCounts(s.F, ds.UniverseSize(), s.Workers, counts); err != nil {
-			return nil, err
-		}
-	}
-	return snap.NewProver(kind, params)
-}
-
-// converse drives one serial (pre-mux) query conversation from the
-// prover side: the read loop is parked here until the client finishes.
-func (s *Server) converse(conn net.Conn, mux *connMux, p core.ProverSession) error {
-	opening, err := p.Open()
-	if err != nil {
-		return err
-	}
-	if err := mux.write(frameProver, encodeMsg(opening)); err != nil {
-		return err
-	}
-	for {
-		typ, payload, err := s.read(conn)
-		if err != nil {
-			return err
-		}
-		switch typ {
-		case frameFinish:
-			return nil
-		case frameChallenge:
-			ch, err := decodeMsg(payload)
-			if err != nil {
-				return err
-			}
-			resp, err := p.Step(ch)
-			if err != nil {
-				return err
-			}
-			if err := mux.write(frameProver, encodeMsg(resp)); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("%w: unexpected frame 0x%02x mid-conversation", ErrProtocol, typ)
-		}
-	}
-}
-
-// BuildProver constructs the prover session for a query by replaying a
-// raw stream through the session's Observe path. The serving path never
-// does this — provers come from dataset snapshots, and even the
-// dishonest-cloud hook rewrites maintained counts — but the replay
-// construction remains as the baseline the amortization benchmarks and
-// the engine's transcript-equality tests compare against. workers is the
-// prover's parallel fan-out (0 serial, n < 0 runtime.NumCPU()); the
-// transcript is identical for every value.
-func BuildProver(f field.Field, u uint64, kind QueryKind, params QueryParams, ups []stream.Update, workers int) (core.ProverSession, error) {
-	observe := func(obs interface{ Observe(stream.Update) error }) error {
-		for _, up := range ups {
-			if err := obs.Observe(up); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	switch kind {
-	case QuerySelfJoinSize, QueryFk:
-		k := 2
-		if kind == QueryFk {
-			k = int(params.K)
-		}
-		proto, err := core.NewFk(f, u, k)
-		if err != nil {
-			return nil, err
-		}
-		proto.Workers = workers
-		p := proto.NewProver()
-		return p, observe(p)
-	case QueryRangeSum:
-		proto, err := core.NewRangeSum(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.Workers = workers
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(params.A, params.B)
-	case QueryRangeQuery:
-		proto, err := core.NewRangeQuery(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.Workers = workers
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(params.A, params.B)
-	case QueryIndex:
-		proto, err := core.NewIndex(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.SetWorkers(workers)
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(params.A)
-	case QueryDictionary:
-		proto, err := core.NewDictionary(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.SetWorkers(workers)
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(params.A)
-	case QueryPredecessor:
-		proto, err := core.NewPredecessor(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.SetWorkers(workers)
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(params.A)
-	case QuerySuccessor:
-		proto, err := core.NewSuccessor(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.SetWorkers(workers)
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(params.A)
-	case QueryKLargest:
-		proto, err := core.NewKLargest(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.SetWorkers(workers)
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(int(params.K))
-	case QueryHeavyHitters:
-		proto, err := core.NewHeavyHitters(f, u)
-		if err != nil {
-			return nil, err
-		}
-		proto.Workers = workers
-		p := proto.NewProver()
-		if err := observe(p); err != nil {
-			return nil, err
-		}
-		return p, p.SetQuery(params.Phi)
-	case QueryF0:
-		proto, err := core.NewF0(f, u, params.Phi)
-		if err != nil {
-			return nil, err
-		}
-		proto.Workers = workers
-		p := proto.NewProver()
-		return p, observe(p)
-	case QueryFmax:
-		proto, err := core.NewFmax(f, u, params.Phi)
-		if err != nil {
-			return nil, err
-		}
-		proto.SetWorkers(workers)
-		p := proto.NewProver()
-		return p, observe(p)
-	case QueryCircuit:
-		proto, err := gkr.NewProtocolFor(f, circuit.Spec{Name: params.Circuit, Arg: params.A}, u, workers)
-		if err != nil {
-			return nil, err
-		}
-		// The GKR prover takes a dense input vector, so "replay" means
-		// accumulating the stream into the circuit's input table; indices
-		// the circuit does not read are outside the statement (see
-		// gkr.VerifierSession.Observe).
-		input := make([]field.Elem, proto.C.InputSize)
-		for _, up := range ups {
-			if up.Index >= u {
-				return nil, fmt.Errorf("wire: index %d outside universe [0,%d)", up.Index, u)
-			}
-			if up.Index < uint64(len(input)) {
-				input[up.Index] = f.Add(input[up.Index], f.FromInt64(up.Delta))
-			}
-		}
-		return proto.NewProverSession(input)
-	default:
-		return nil, fmt.Errorf("wire: unknown query kind %d", kind)
-	}
-}
-
-// ---------------------------------------------------------------------
-// Client
-
-// Client is the data-owner side: it uploads the stream (keeping only its
-// local verifier summaries) and drives query conversations. The v1 flow
-// is Hello → SendUpdates → EndStream → Query; the v2 flow is
-// OpenDataset → Ingest/Query in any order.
-//
-// A Client is safe for concurrent use: Query and QueryAsync multiplex
-// any number of conversations over the one connection (each on its own
-// channel id, demultiplexed by a reader goroutine), and the
-// control-plane calls (Hello, OpenDataset, Ingest, EndStream) serialize
-// among themselves.
-type Client struct {
-	conn net.Conn
-	// Timeout bounds how long the client waits for each expected server
-	// frame (and for each frame write), mirroring Server.IdleTimeout on
-	// the other end: a stalled or half-open server surfaces as a typed
-	// ErrTimeout instead of hanging Hello/Ingest/Query forever. The
-	// connection is closed on timeout — the conversation state is
-	// unrecoverable. Set it before the first call; zero means no bound.
-	Timeout time.Duration
-
-	// FieldModulus is the field the client agreed on with the server
-	// out-of-band (the modulus it builds its own verifiers over). When
-	// nonzero, FetchProof rejects any proof whose binding names a
-	// different modulus — without it a malicious server could grind the
-	// challenge derivation over 2^64 modulus choices. Set it before the
-	// first FetchProof/QueryCached call; zero skips the check.
-	FieldModulus uint64
-
-	wmu sync.Mutex // serializes frame writes
-
-	cmu    sync.Mutex // serializes control-plane request/response pairs
-	mode   connMode   // guarded by cmu
-	v1Done bool       // v1 upload acked complete; guarded by cmu
-	dsName string     // dataset attached by OpenDataset; guarded by cmu
-	dsU    uint64     // its universe size (Open rejects a mismatch); guarded by cmu
-
-	mu      sync.Mutex // guards the demux state below
-	handles map[uint32]*QueryHandle
-	nextCh  uint32
-	readErr error // terminal reader failure, sticky
-	srvErr  error // typed server error/budget frame seen on the control channel, sticky
-
-	ctrl       chan ctrlFrame // control-channel frames (acks, refusals)
-	readerDone chan struct{}  // closed when the demux reader exits
-}
-
-// ctrlFrame is one control-channel frame as delivered by the demux
-// reader.
-type ctrlFrame struct {
-	typ     byte
-	payload []byte
-}
-
-// ErrTimeout reports that Client.Timeout elapsed while waiting on the
-// server; the connection has been closed. Distinguish it with
-// errors.Is(err, wire.ErrTimeout).
-var ErrTimeout = errors.New("wire: client timeout")
-
-// connMode mirrors the server's flow distinction on the client, so
-// mixing the flows fails fast locally instead of desynchronizing the
-// conversation (v2 update batches are acknowledged, v1 ones are not).
-type connMode int
-
-const (
-	modeUnset connMode = iota
-	modeV1
-	modeV2
-)
-
-// Dial connects to a prover server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{
-		conn:       conn,
-		handles:    make(map[uint32]*QueryHandle),
-		ctrl:       make(chan ctrlFrame, 16),
-		readerDone: make(chan struct{}),
-	}
-	go c.readLoop()
-	return c, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// readLoop is the demux reader: the only goroutine that reads the
-// socket. Channel-scoped frames are routed to their conversation
-// handle; control frames go to the ctrl queue the request/response
-// calls consume.
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
-	for {
-		typ, payload, err := readFrame(c.conn)
-		if err != nil {
-			c.failReader(err)
-			return
-		}
-		switch typ {
-		case frameProverCh, frameErrorCh, frameBudgetCh, frameProofCh:
-			id, rest, err := decodeChannel(payload)
-			if err != nil {
-				c.failReader(err)
-				return
-			}
-			c.mu.Lock()
-			h := c.handles[id]
-			c.mu.Unlock()
-			if h == nil {
-				continue // late frame for a finished conversation
-			}
-			if !h.deliver(muxFrame{typ: typ, payload: rest}) {
-				c.failReader(fmt.Errorf("%w: channel %d flooded beyond the lock-step window", ErrProtocol, id))
-				return
-			}
-		case frameOK, frameBudget, frameError:
-			if typ != frameOK {
-				// Remember the server's parting shot: if the connection
-				// dies before anyone reads this frame, later calls still
-				// surface the typed cause instead of a bare EOF.
-				c.mu.Lock()
-				if c.srvErr == nil {
-					c.srvErr = ctrlErr(typ, payload)
-				}
-				c.mu.Unlock()
-			}
-			select {
-			case c.ctrl <- ctrlFrame{typ: typ, payload: payload}:
-			default:
-				// The server acked something nobody asked about — the
-				// conversation is desynchronized beyond recovery.
-				c.failReader(fmt.Errorf("%w: unsolicited control frame 0x%02x", ErrProtocol, typ))
-				return
-			}
-		default:
-			c.failReader(fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ))
-			return
-		}
-	}
-}
-
-// failReader records the reader's terminal error. Open conversations
-// and control waiters observe it through readerDone.
-func (c *Client) failReader(err error) {
-	c.mu.Lock()
-	if c.readErr == nil {
-		c.readErr = err
-	}
-	c.mu.Unlock()
-}
-
-// termErr is the error reported once the reader has died: the typed
-// server refusal if one arrived, otherwise the transport failure.
-func (c *Client) termErr() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.srvErr != nil {
-		return c.srvErr
-	}
-	if c.readErr != nil {
-		return c.readErr
-	}
-	return io.EOF
-}
-
-// ctrlErr types a server refusal frame.
-func ctrlErr(typ byte, payload []byte) error {
-	if typ == frameBudget {
-		return fmt.Errorf("%w: %s", ErrBudget, payload)
-	}
-	return fmt.Errorf("wire: server error: %s", payload)
-}
-
-// write sends one frame, serialized against every other writer on the
-// connection and bounded by Timeout. When the write fails because the
-// server already tore the connection down after an error frame, the
-// typed server error is surfaced instead of the raw transport error.
-func (c *Client) write(typ byte, payload []byte) error {
-	c.wmu.Lock()
-	err := func() error {
-		if c.Timeout > 0 {
-			if err := c.conn.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
-				return err
-			}
-		}
-		return writeFrame(c.conn, typ, payload)
-	}()
-	c.wmu.Unlock()
-	if err == nil {
-		return nil
-	}
-	if errors.Is(err, os.ErrDeadlineExceeded) {
-		// A timed-out write may have left a partial frame on the wire —
-		// the framing is unrecoverable, per the Timeout contract.
-		c.conn.Close()
-		return fmt.Errorf("%w: frame write stalled beyond %v", ErrTimeout, c.Timeout)
-	}
-	// Give the reader a beat to pick up the server's parting error frame
-	// from the receive buffer, then prefer it: "index out of range" beats
-	// "broken pipe".
-	select {
-	case <-c.readerDone:
-	case <-time.After(50 * time.Millisecond):
-	}
-	c.mu.Lock()
-	srvErr := c.srvErr
-	c.mu.Unlock()
-	if srvErr != nil {
-		return srvErr
-	}
-	return err
-}
-
-// waitCtrl blocks for the next control-channel frame, honoring Timeout.
-func (c *Client) waitCtrl() (byte, []byte, error) {
-	var timeout <-chan time.Time
-	if c.Timeout > 0 {
-		t := time.NewTimer(c.Timeout)
-		defer t.Stop()
-		timeout = t.C
-	}
-	select {
-	case fr := <-c.ctrl:
-		return fr.typ, fr.payload, nil
-	case <-c.readerDone:
-		// Drain a frame that raced in just before the reader died.
-		select {
-		case fr := <-c.ctrl:
-			return fr.typ, fr.payload, nil
-		default:
-		}
-		return 0, nil, c.termErr()
-	case <-timeout:
-		c.conn.Close()
-		return 0, nil, fmt.Errorf("%w: no server response within %v", ErrTimeout, c.Timeout)
-	}
-}
-
-// Hello announces the universe size and starts a v1 upload into a
-// private, per-connection dataset. It waits for the server's
-// acknowledgement: the dataset's O(u) tables are admitted against the
-// server's memory budget at hello time, and a refusal surfaces here as
-// ErrBudget (distinguish it with errors.Is) rather than failing some
-// later frame.
-func (c *Client) Hello(u uint64) error {
-	c.cmu.Lock()
-	defer c.cmu.Unlock()
-	if c.mode == modeV2 {
-		return fmt.Errorf("wire: Hello on a connection attached to a named dataset")
-	}
-	if c.mode == modeV1 {
-		return fmt.Errorf("wire: Hello twice on one connection")
-	}
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], u)
-	if err := c.write(frameHello, b[:]); err != nil {
-		return err
-	}
-	if _, err := c.readOK(); err != nil {
-		return err
-	}
-	c.mode = modeV1
-	return nil
-}
-
-// OpenDataset attaches the connection to the named server-side dataset,
-// creating it over a universe of size ≥ u if it does not exist. It
-// returns the dataset's current update count — zero for a fresh dataset;
-// a verifier must have observed every update already ingested for its
-// queries to be accepted. After OpenDataset, Ingest and Query may be
-// freely interleaved, and other connections attached to the same name
-// see the same data.
-func (c *Client) OpenDataset(name string, u uint64) (uint64, error) {
-	c.cmu.Lock()
-	defer c.cmu.Unlock()
-	if c.mode == modeV1 {
-		return 0, fmt.Errorf("wire: OpenDataset on a v1 connection")
-	}
-	if name == "" || len(name) > maxDatasetName {
-		return 0, fmt.Errorf("wire: dataset name must be 1..%d bytes", maxDatasetName)
-	}
-	if err := c.write(frameOpen, encodeOpen(name, u)); err != nil {
-		return 0, err
-	}
-	count, err := c.readOK()
-	if err == nil {
-		c.mode = modeV2
-		// The server's engine refuses an open whose universe differs from
-		// the existing dataset's, so a successful open pins both: proofs
-		// fetched on this connection must carry exactly this identity.
-		c.dsName, c.dsU = name, u
-	}
-	return count, err
-}
-
-// SendUpdates uploads a batch of stream updates on a v1 connection. The
-// caller feeds the same updates to its local verifiers — that is the
-// single streaming pass. The server folds each batch into its maintained
-// state as it arrives; batches are unacknowledged (EndStream carries the
-// ack that covers them all).
-func (c *Client) SendUpdates(ups []stream.Update) error {
-	c.cmu.Lock()
-	defer c.cmu.Unlock()
-	if c.mode != modeV1 {
-		return fmt.Errorf("wire: SendUpdates requires a v1 connection (after Hello); use Ingest on named datasets")
-	}
-	if c.v1Done {
-		return fmt.Errorf("wire: SendUpdates after EndStream")
-	}
-	const batch = 4096
-	for len(ups) > 0 {
-		n := len(ups)
-		if n > batch {
-			n = batch
-		}
-		if err := c.write(frameUpdates, encodeUpdates(ups[:n])); err != nil {
-			return err
-		}
-		ups = ups[n:]
-	}
-	return nil
-}
-
-// Ingest uploads updates into the attached v2 dataset, waiting for the
-// server's acknowledgement of every batch. It returns the dataset's
-// update count after the last batch (including other connections'
-// concurrent ingestion).
-func (c *Client) Ingest(ups []stream.Update) (uint64, error) {
-	c.cmu.Lock()
-	defer c.cmu.Unlock()
-	if c.mode != modeV2 {
-		return 0, fmt.Errorf("wire: Ingest requires an attached dataset (call OpenDataset first)")
-	}
-	const batch = 4096
-	var count uint64
-	for sent := false; len(ups) > 0 || !sent; sent = true {
-		n := len(ups)
-		if n > batch {
-			n = batch
-		}
-		if err := c.write(frameUpdates, encodeUpdates(ups[:n])); err != nil {
-			return count, err
-		}
-		var err error
-		if count, err = c.readOK(); err != nil {
-			return count, err
-		}
-		ups = ups[n:]
-	}
-	return count, nil
-}
-
-func encodeUpdates(ups []stream.Update) []byte {
-	payload := make([]byte, 16*len(ups))
-	for i, up := range ups {
-		binary.LittleEndian.PutUint64(payload[16*i:], up.Index)
-		binary.LittleEndian.PutUint64(payload[16*i+8:], uint64(up.Delta))
-	}
-	return payload
-}
-
-func (c *Client) readOK() (uint64, error) {
-	typ, payload, err := c.waitCtrl()
-	if err != nil {
-		return 0, err
-	}
-	switch typ {
-	case frameOK:
-		return decodeCount(payload)
-	case frameBudget:
-		return 0, fmt.Errorf("%w: %s", ErrBudget, payload)
-	case frameError:
-		return 0, fmt.Errorf("wire: server error: %s", payload)
-	default:
-		return 0, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
-	}
-}
-
-// EndStream marks a v1 upload complete and waits for the server's
-// acknowledgement. v1 update batches are streamed without per-batch
-// acks, so this is where a mid-upload ingest failure surfaces, typed,
-// instead of desynchronizing the first query.
-func (c *Client) EndStream() error {
-	c.cmu.Lock()
-	defer c.cmu.Unlock()
-	if c.mode != modeV1 {
-		return fmt.Errorf("wire: EndStream requires a v1 connection")
-	}
-	if c.v1Done {
-		return fmt.Errorf("wire: EndStream twice")
-	}
-	if err := c.write(frameEndStream, nil); err != nil {
-		return err
-	}
-	if _, err := c.readOK(); err != nil {
-		return err
-	}
-	c.v1Done = true
-	return nil
-}
-
-// Query sends the query and drives the conversation between the remote
-// prover and the local verifier session. A nil error means the verifier
-// accepted; results are read from the concrete verifier afterwards.
-// Query is safe to call from many goroutines at once: each call runs on
-// its own multiplexed channel (it is QueryAsync + Wait).
-func (c *Client) Query(kind QueryKind, params QueryParams, v core.VerifierSession) (core.Stats, error) {
-	h, err := c.QueryAsync(kind, params, v)
-	if err != nil {
-		return core.Stats{}, err
-	}
-	return h.Wait()
-}
