@@ -31,11 +31,21 @@
 // updates. No prover work happens on the server after the first fetch
 // of each (version, query).
 //
+// -kinds picks the query battery. "all" (the default) runs self-join
+// size, range query, and heavy hitters. "seam" runs the split-universe
+// seam — self-join size, the F3 frequency moment, and a range sum — the
+// kinds a dataset split across shards serves, so this is the battery to
+// point at a siprouter fronting a Splits table. In -cached mode each
+// ACCEPTED line carries the sha256 of the posted proof bytes: fetch the
+// same dataset through a router and through a single engine and the
+// digests must match — the split-universe bit-identity check.
+//
 // Point it at a server started with -cheat-drop to watch every v1 query
 // get rejected.
 package main
 
 import (
+	"crypto/sha256"
 	"errors"
 	"flag"
 	"fmt"
@@ -67,9 +77,17 @@ func main() {
 	circuitName := flag.String("circuit", "", fmt.Sprintf("add a CIRCUIT (GKR) conversation per round; families: %v", circuit.Families()))
 	circuitArg := flag.Uint64("circuit-arg", 0, "circuit family argument (MATMUL: matrix dimension n, 0 = default)")
 	cached := flag.Bool("cached", false, "verify posted Fiat–Shamir proofs offline instead of running interactive conversations (requires -dataset)")
+	kinds := flag.String("kinds", "all", `query battery: "all" (F2, range query, heavy hitters) or "seam" (F2, F3 moment, range sum — what a split-universe dataset serves)`)
 	flag.Parse()
 	if *cached && *dataset == "" {
 		log.Fatal("-cached requires -dataset: only named datasets post proofs")
+	}
+	if *kinds != "all" && *kinds != "seam" {
+		log.Fatalf(`-kinds must be "all" or "seam", got %q`, *kinds)
+	}
+	seam := *kinds == "seam"
+	if seam && *circuitName != "" {
+		log.Fatal("-kinds seam excludes -circuit: a split dataset cannot serve CIRCUIT conversations")
 	}
 	if *concurrency < 1 {
 		*concurrency = 1
@@ -120,6 +138,20 @@ func main() {
 		}
 	}
 	rng := field.CryptoRNG{}
+	qlo, qhi := u/4, u/4+99
+	// seamBattery is the -kinds seam query set: exactly the kinds the
+	// split-universe partial-prover seam covers, so the same invocation
+	// works against a single sipserver and a siprouter splitting the
+	// dataset across shards.
+	seamBattery := []struct {
+		name   string
+		kind   wire.QueryKind
+		params wire.QueryParams
+	}{
+		{"SELF-JOIN SIZE (F2)", wire.QuerySelfJoinSize, wire.QueryParams{}},
+		{"F3 MOMENT", wire.QueryFk, wire.QueryParams{K: 3}},
+		{fmt.Sprintf("RANGE SUM [%d,%d]", qlo, qhi), wire.QueryRangeSum, wire.QueryParams{A: qlo, B: qhi}},
+	}
 	f2vs := make([]*core.FkVerifier, rounds)
 	rqvs := make([]*core.SubVectorVerifier, rounds)
 	hhvs := make([]*core.HeavyHittersVerifier, rounds)
@@ -127,10 +159,28 @@ func main() {
 	if *circuitName != "" {
 		gkvs = make([]*gkr.VerifierSession, rounds)
 	}
+	var seamVs [][]engine.StreamVerifier
 	// In -cached mode the challenge randomness comes from each proof's
 	// binding, which is only known after the fetch — verifiers are built
 	// per fetched proof inside the round instead of up front.
-	if !*cached {
+	if !*cached && seam {
+		seamVs = make([][]engine.StreamVerifier, rounds)
+		for r := range seamVs {
+			seamVs[r] = make([]engine.StreamVerifier, len(seamBattery))
+			for i, q := range seamBattery {
+				v, err := engine.NewStreamVerifier(f, u, q.kind, q.params, rng)
+				check(err)
+				seamVs[r][i] = v
+			}
+		}
+		for _, up := range ups {
+			for r := range seamVs {
+				for _, v := range seamVs[r] {
+					check(v.Observe(up))
+				}
+			}
+		}
+	} else if !*cached {
 		for r := 0; r < rounds; r++ {
 			f2proto, err := core.NewSelfJoinSize(f, u)
 			check(err)
@@ -278,6 +328,43 @@ func main() {
 		return lines
 	}
 
+	// runSeamRound is the interactive seam battery: the three seam kinds
+	// overlapped on their own mux channels, identical against a single
+	// engine and a split-universe router.
+	runSeamRound := func(r int) []string {
+		t0 := time.Now()
+		var lines []string
+		handles := make([]*wire.QueryHandle, len(seamBattery))
+		for i, q := range seamBattery {
+			h, err := client.QueryAsync(q.kind, q.params, seamVs[r][i])
+			if err != nil {
+				transportFailed.Store(true)
+				lines = append(lines, fmt.Sprintf("%s: %v", q.name, err))
+				return lines
+			}
+			handles[i] = h
+		}
+		for i, q := range seamBattery {
+			stats, err := handles[i].Wait()
+			lines = append(lines, report(q.name, stats, err))
+			if err != nil {
+				continue
+			}
+			switch v := seamVs[r][i].(type) {
+			case *core.FkVerifier:
+				if res, rerr := v.Result(); rerr == nil {
+					lines = append(lines, fmt.Sprintf("  moment = %d", res))
+				}
+			case *core.RangeSumVerifier:
+				if res, rerr := v.Result(); rerr == nil {
+					lines = append(lines, fmt.Sprintf("  range sum = %d", res))
+				}
+			}
+		}
+		lines = append(lines, fmt.Sprintf("round wall time: %v", time.Since(t0).Round(time.Millisecond)))
+		return lines
+	}
+
 	// runCachedRound is the non-interactive battery: fetch each query's
 	// posted proof (one server-side generation per dataset version, every
 	// later fetch a cache hit), rebuild the verifier from the binding's
@@ -307,9 +394,33 @@ func main() {
 				lines = append(lines, report(name, stats, err))
 				return nil
 			}
-			lines = append(lines, fmt.Sprintf("%s: ACCEPTED offline — posted proof v%d, %d recorded rounds, %d proof bytes",
-				name, pf.Version, stats.Rounds, stats.CommBytes()))
+			// The digest makes bit-identity checkable from the outside:
+			// the same dataset fetched through a split-universe router and
+			// through a single engine must print the same sha256.
+			sum := sha256.Sum256(pf.Encode())
+			lines = append(lines, fmt.Sprintf("%s: ACCEPTED offline — posted proof v%d, %d recorded rounds, %d proof bytes, sha256 %x",
+				name, pf.Version, stats.Rounds, stats.CommBytes(), sum))
 			return built
+		}
+		if seam {
+			for _, q := range seamBattery {
+				v := fetchVerify(q.name, q.kind, q.params)
+				if v == nil {
+					continue
+				}
+				switch sv := v.(type) {
+				case *core.FkVerifier:
+					if res, err := sv.Result(); err == nil {
+						lines = append(lines, fmt.Sprintf("  moment = %d", res))
+					}
+				case *core.RangeSumVerifier:
+					if res, err := sv.Result(); err == nil {
+						lines = append(lines, fmt.Sprintf("  range sum = %d", res))
+					}
+				}
+			}
+			lines = append(lines, fmt.Sprintf("round wall time: %v", time.Since(t0).Round(time.Millisecond)))
+			return lines
 		}
 		if v := fetchVerify("SELF-JOIN SIZE (F2)", wire.QuerySelfJoinSize, wire.QueryParams{}); v != nil {
 			if res, err := v.(*core.FkVerifier).Result(); err == nil {
@@ -347,9 +458,12 @@ func main() {
 		go func(r int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if *cached {
+			switch {
+			case *cached:
 				results[r] = runCachedRound(r)
-			} else {
+			case seam:
+				results[r] = runSeamRound(r)
+			default:
 				results[r] = runRound(r)
 			}
 		}(r)

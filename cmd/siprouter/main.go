@@ -6,6 +6,7 @@
 //
 //	siprouter -listen :7400 -table shards.json
 //	siprouter -table shards.json -rebalance mydata=shard2
+//	siprouter -table shards.json -rebalance-slice huge:1=shard3
 //	siprouter -table shards.json -evacuate shard1=shard2
 //
 // The routing table is JSON:
@@ -15,8 +16,17 @@
 //	    {"Name": "shard1", "Addr": "127.0.0.1:7408", "DataDir": "/var/lib/sip/shard1"},
 //	    {"Name": "shard2", "Addr": "127.0.0.1:7409", "DataDir": "/var/lib/sip/shard2"}
 //	  ],
-//	  "Routes": {"pinned-dataset": "shard2"}
+//	  "Routes": {"pinned-dataset": "shard2"},
+//	  "Splits": {"huge": {"Slices": 2, "Owners": ["shard1", "shard2"]}}
 //	}
+//
+// A dataset under "Splits" is split-universe: each owner holds one
+// power-of-two slice of the padded index space and the router folds the
+// owners' partial sum-check messages into the single transcript a
+// client sees — transcripts and cached-proof bytes are bit-identical to
+// one engine holding the whole dataset. Clients open such a dataset by
+// name, exactly as a routed one; only mux-channel queries are served
+// (the seam covers self-join size, k-th moments, and range sums).
 //
 // -rebalance moves one dataset by checkpoint handoff: the source shard
 // persists and releases it (engine.Release), the checkpoint file moves
@@ -25,9 +35,19 @@
 // bit-identical across the move. The data dirs must be reachable from
 // where siprouter runs (same host or a shared filesystem).
 //
+// -rebalance-slice moves one slice of a split dataset the same way:
+// the slice's owner releases it, the checkpoint file moves, the target
+// adopts, and the owner list in the table is updated. Ingest through a
+// live router retries transparently across the move.
+//
 // -evacuate is the shard-loss path: with a shard's process dead but its
 // data dir intact, every checkpoint it held is moved to the target,
 // adopted, and routed. Run it only once the lost shard is actually down.
+//
+// -aggregate-stats makes the router answer a client's stats request
+// itself: it fans out to every shard, sums the proof-cache counters,
+// and returns the merged reply with a per-shard breakdown (plus its own
+// split-proof cache under "router").
 package main
 
 import (
@@ -35,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,7 +68,10 @@ func main() {
 	tablePath := flag.String("table", "", "routing table JSON (required)")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle for this long (0 = never)")
 	rebalance := flag.String("rebalance", "", "move a dataset and exit: dataset=targetShard")
+	rebalanceSlice := flag.String("rebalance-slice", "", "move one slice of a split dataset and exit: dataset:slice=targetShard")
 	evacuate := flag.String("evacuate", "", "adopt a dead shard's checkpoints and exit: lostShard=targetShard")
+	aggStats := flag.Bool("aggregate-stats", false, "answer stats requests with merged per-shard counters instead of forwarding")
+	dialBudget := flag.Duration("dial-retry-budget", 2*time.Second, "total time to spend retrying an unreachable shard before failing typed")
 	flag.Parse()
 	if *tablePath == "" {
 		log.Fatalf("-table is required")
@@ -62,6 +86,8 @@ func main() {
 	}
 	r.IdleTimeout = *idle
 	r.TablePath = *tablePath
+	r.AggregateStats = *aggStats
+	r.DialRetryBudget = *dialBudget
 
 	switch {
 	case *rebalance != "":
@@ -73,6 +99,25 @@ func main() {
 			log.Fatalf("rebalance: %v", err)
 		}
 		log.Printf("dataset %q now served by shard %q (route pinned in %s)", ds, target, *tablePath)
+		return
+	case *rebalanceSlice != "":
+		spec, target, err := splitPair(*rebalanceSlice)
+		if err != nil {
+			log.Fatalf("-rebalance-slice: %v", err)
+		}
+		colon := strings.LastIndex(spec, ":")
+		if colon <= 0 || colon == len(spec)-1 {
+			log.Fatalf("-rebalance-slice: want dataset:slice=targetShard, got %q", *rebalanceSlice)
+		}
+		ds := spec[:colon]
+		slice, err := strconv.Atoi(spec[colon+1:])
+		if err != nil {
+			log.Fatalf("-rebalance-slice: slice index %q: %v", spec[colon+1:], err)
+		}
+		if err := r.RebalanceSlice(ds, slice, target); err != nil {
+			log.Fatalf("rebalance-slice: %v", err)
+		}
+		log.Printf("slice %d of %q now served by shard %q (owner list updated in %s)", slice, ds, target, *tablePath)
 		return
 	case *evacuate != "":
 		lost, target, err := splitPair(*evacuate)

@@ -139,6 +139,9 @@ func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if ds, ok := e.datasets[name]; ok {
+		if ds.sliceHi != 0 {
+			return nil, fmt.Errorf("engine: dataset %q is the slice [%d,%d) of universe %d; reattach with OpenSlice", name, ds.sliceLo, ds.sliceHi, ds.origU)
+		}
 		if ds.origU != u {
 			return nil, fmt.Errorf("engine: dataset %q has universe %d, not %d", name, ds.origU, u)
 		}
@@ -162,6 +165,9 @@ func (e *Engine) Open(name string, u uint64) (*Dataset, error) {
 	// transition: re-check the registry (a concurrent Open of the same
 	// name may have won) and the cap before creating.
 	if ds, ok := e.datasets[name]; ok {
+		if ds.sliceHi != 0 {
+			return nil, fmt.Errorf("engine: dataset %q is the slice [%d,%d) of universe %d; reattach with OpenSlice", name, ds.sliceLo, ds.sliceHi, ds.origU)
+		}
 		if ds.origU != u {
 			return nil, fmt.Errorf("engine: dataset %q has universe %d, not %d", name, ds.origU, u)
 		}
@@ -340,9 +346,15 @@ const (
 type Dataset struct {
 	name    string
 	f       field.Field
-	params  lde.Params // ℓ=2, universe padded to 2^d ≥ origU
-	origU   uint64     // universe size as requested (protocols are built with it)
+	params  lde.Params // ℓ=2: padded to 2^d ≥ origU, or the slice's width
+	origU   uint64     // global universe size as requested (protocols are built with it)
 	workers int
+
+	// Slice bounds in the padded global universe, for datasets opened as
+	// one slice of a split universe (OpenSlice). sliceHi == 0 means a
+	// whole-universe dataset; for slices, params spans only the slice's
+	// width and tables are indexed locally (global i at i−sliceLo).
+	sliceLo, sliceHi uint64
 
 	mu       sync.Mutex
 	eng      *Engine     // nil for standalone datasets; cleared by Drop/Release
@@ -399,8 +411,15 @@ func newDatasetShell(f field.Field, u uint64, workers int) (*Dataset, error) {
 func (d *Dataset) Name() string { return d.name }
 
 // UniverseSize returns the universe the dataset was created over (before
-// padding to a power of two).
+// padding to a power of two). For a slice dataset this is the *global*
+// universe of the split, not the slice width.
 func (d *Dataset) UniverseSize() uint64 { return d.origU }
+
+// Slice returns the dataset's bounds within the padded global universe.
+// isSlice is false for whole-universe datasets (lo and hi are then 0).
+func (d *Dataset) Slice() (lo, hi uint64, isSlice bool) {
+	return d.sliceLo, d.sliceHi, d.sliceHi != 0
+}
 
 // Updates returns how many stream updates have been ingested. It does
 // not rehydrate an evicted dataset — the count survives eviction.
@@ -496,10 +515,18 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 	}
 	// Bounds are the *requested* universe, not the padded power of two:
 	// every protocol is parameterized by origU, so an update in
-	// [origU, 2^d) would live in padding no verifier accounts for.
+	// [origU, 2^d) would live in padding no verifier accounts for. A
+	// slice dataset additionally owns only [sliceLo, sliceHi) of it.
+	base, bound := d.sliceLo, d.origU
+	if d.sliceHi != 0 && d.sliceHi < bound {
+		bound = d.sliceHi
+	}
 	for _, i := range idx {
 		if i >= d.origU {
 			return fmt.Errorf("engine: index %d outside universe [0,%d)", i, d.origU)
+		}
+		if i < base || i >= bound {
+			return fmt.Errorf("engine: index %d outside slice [%d,%d)", i, d.sliceLo, d.sliceHi)
 		}
 	}
 	d.touch()
@@ -510,7 +537,7 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 		}
 		f := d.f
 		apply := func(k int) {
-			i := idx[k]
+			i := idx[k] - base // slice tables are indexed locally
 			st.counts[i] += deltas[k]
 			st.elems[i] = f.Add(st.elems[i], f.FromInt64(deltas[k]))
 		}
@@ -523,7 +550,7 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 			shard := make([]int32, len(idx))
 			count := make([]int, nw)
 			for k, i := range idx {
-				s := int32(i / width)
+				s := int32((i - base) / width)
 				shard[k] = s
 				count[s]++
 			}
@@ -555,11 +582,15 @@ func (d *Dataset) IngestColumns(idx []uint64, deltas []int64) error {
 		}
 		st.n += uint64(len(idx))
 		d.nMeta = st.n
-		if len(idx) > 0 {
+		if len(idx) > 0 || d.sliceHi != 0 {
 			// Every non-empty batch rotates the dataset version, which
 			// rotates the Fiat–Shamir challenge point of every cached
 			// proof key — an empty batch changes no state and keeps the
-			// cache warm.
+			// cache warm. A slice counts *delivered* batches instead: a
+			// scatter routes one global batch to every owner (some
+			// sub-batches empty), so bumping per delivery keeps each slice
+			// version — and hence the aggregated split version — equal to
+			// the version a single engine would reach on the same stream.
 			st.version++
 			d.verMeta = st.version
 		}

@@ -163,7 +163,7 @@ func (e *Engine) Adopt(name string) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("engine: adopting %q: %w", name, err)
 	}
-	ds, err := newDatasetShell(e.f, ckpt.Universe, e.workers)
+	ds, err := shellForCheckpoint(e.f, ckpt, e.workers)
 	if err != nil {
 		return 0, fmt.Errorf("engine: adopting %q: %w", name, err)
 	}

@@ -404,6 +404,8 @@ func (d *Dataset) checkpointOf(st *tableState) *store.Checkpoint {
 		Total:    st.total,
 		Updates:  st.n,
 		Version:  st.version,
+		SliceLo:  d.sliceLo,
+		SliceHi:  d.sliceHi,
 		Counts:   st.counts,
 	}
 }
@@ -414,10 +416,23 @@ func (d *Dataset) checkCheckpoint(ckpt *store.Checkpoint) error {
 	if ckpt.Universe != d.origU {
 		return fmt.Errorf("checkpoint universe %d, dataset has %d", ckpt.Universe, d.origU)
 	}
+	if ckpt.SliceLo != d.sliceLo || ckpt.SliceHi != d.sliceHi {
+		return fmt.Errorf("checkpoint slice [%d,%d), dataset has [%d,%d)", ckpt.SliceLo, ckpt.SliceHi, d.sliceLo, d.sliceHi)
+	}
 	if uint64(len(ckpt.Counts)) != d.params.U {
 		return fmt.Errorf("checkpoint table length %d, dataset pads to %d", len(ckpt.Counts), d.params.U)
 	}
 	return nil
+}
+
+// shellForCheckpoint builds the table-less dataset shell matching a
+// checkpoint's geometry: a slice shell when the checkpoint carries
+// slice bounds, a whole-universe shell otherwise.
+func shellForCheckpoint(f field.Field, ckpt *store.Checkpoint, workers int) (*Dataset, error) {
+	if ckpt.Slice() {
+		return newSliceShell(f, ckpt.Universe, ckpt.SliceLo, ckpt.SliceHi, workers)
+	}
+	return newDatasetShell(f, ckpt.Universe, workers)
 }
 
 // stateFromCheckpoint rebuilds live tables from a checkpoint: the counts
@@ -560,7 +575,7 @@ func (e *Engine) Recover() (int, error) {
 		// A shell only: tables are rebuilt below iff the dataset will
 		// actually be resident — an over-budget fleet restarts without
 		// paying O(u) per dataset it is not going to keep in memory.
-		ds, err := newDatasetShell(e.f, ckpt.Universe, e.workers)
+		ds, err := shellForCheckpoint(e.f, ckpt, e.workers)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("dataset %q: %w", name, err))
 			continue

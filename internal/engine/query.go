@@ -49,6 +49,13 @@ type QueryParams struct {
 // that observed the original stream update by update (crosschecked in
 // the package tests), for every worker count.
 func (s *Snapshot) NewProver(kind QueryKind, params QueryParams) (core.ProverSession, error) {
+	if s.ds.sliceHi != 0 {
+		// A slice holds only [sliceLo, sliceHi) of the universe; its
+		// messages are partials, not a complete transcript. Query it
+		// through NewPartialProver behind an aggregator.
+		return nil, fmt.Errorf("engine: dataset %q is the slice [%d,%d) of universe %d; whole-transcript provers need the full table",
+			s.ds.name, s.ds.sliceLo, s.ds.sliceHi, s.ds.origU)
+	}
 	f, u, workers := s.ds.f, s.ds.origU, s.ds.workers
 	switch kind {
 	case QuerySelfJoinSize, QueryFk:

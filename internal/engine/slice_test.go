@@ -1,0 +1,450 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/lde"
+	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/sumcheck"
+)
+
+// sliceBounds returns the S equal slices of the padded universe of u.
+func sliceBounds(t *testing.T, u uint64, s int) [][2]uint64 {
+	t.Helper()
+	params, err := lde.ParamsForUniverse(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := params.U / uint64(s)
+	out := make([][2]uint64, s)
+	for k := range out {
+		out[k] = [2]uint64{uint64(k) * width, uint64(k+1) * width}
+	}
+	return out
+}
+
+// scatterBatch routes one global batch to its owning slices, preserving
+// batch order within each slice — what the router's ingest fan-out does.
+func scatterBatch(ups []stream.Update, bounds [][2]uint64) [][]stream.Update {
+	out := make([][]stream.Update, len(bounds))
+	for _, up := range ups {
+		for k, b := range bounds {
+			if up.Index >= b[0] && up.Index < b[1] {
+				out[k] = append(out[k], up)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// driveSplit runs the full aggregated conversation over the slice
+// sessions with a fixed challenge schedule, returning every combined
+// message (opening first).
+func driveSplit(t *testing.T, f field.Field, u uint64, comb sumcheck.Combiner, sessions []core.ProverSession, challenges []field.Elem) (*core.SplitAggregator, []core.Msg) {
+	t.Helper()
+	agg, err := core.NewSplitAggregator(f, u, len(sessions), comb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]core.Msg, len(sessions))
+	for k, sess := range sessions {
+		if parts[k], err = sess.Open(); err != nil {
+			t.Fatalf("slice %d open: %v", k, err)
+		}
+	}
+	opening, err := agg.Open(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []core.Msg{opening}
+	for j := 0; j < agg.Rounds()-1; j++ {
+		r := challenges[j]
+		var m core.Msg
+		if agg.Broadcast() {
+			for k, sess := range sessions {
+				if parts[k], err = sess.Step(core.Msg{Elems: []field.Elem{r}}); err != nil {
+					t.Fatalf("slice %d round %d: %v", k, j+1, err)
+				}
+			}
+			if m, err = agg.Collect(parts); err != nil {
+				t.Fatalf("collect round %d: %v", j+1, err)
+			}
+		} else {
+			if m, err = agg.Next(r); err != nil {
+				t.Fatalf("tail round %d: %v", j+1, err)
+			}
+		}
+		msgs = append(msgs, m)
+	}
+	return agg, msgs
+}
+
+// TestOpenSliceIdentity pins the slice identity rules: geometry is
+// validated, re-attach must match exactly, and slice vs whole-universe
+// handles never cross.
+func TestOpenSliceIdentity(t *testing.T) {
+	e := engine.New(f61, 0)
+	const u = 100 // pads to 128
+	ds, err := e.OpenSlice("ds", u, 32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi, ok := ds.Slice(); !ok || lo != 32 || hi != 64 {
+		t.Fatalf("Slice() = %d,%d,%v", lo, hi, ok)
+	}
+	if ds.UniverseSize() != u {
+		t.Fatalf("UniverseSize() = %d, want the global %d", ds.UniverseSize(), u)
+	}
+	if again, err := e.OpenSlice("ds", u, 32, 64); err != nil || again != ds {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if _, err := e.OpenSlice("ds", u, 0, 32); err == nil {
+		t.Fatal("mismatched bounds attached")
+	}
+	if _, err := e.Open("ds", u); err == nil {
+		t.Fatal("plain Open attached to a slice")
+	}
+	if _, err := e.Open("whole", u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OpenSlice("whole", u, 32, 64); err == nil {
+		t.Fatal("OpenSlice attached to a whole dataset")
+	}
+	for _, bad := range [][3]uint64{
+		{u, 40, 72},  // not aligned to its width
+		{u, 96, 192}, // beyond the padded universe
+		{u, 64, 64},  // empty
+		{u, 48, 96},  // width 48 is not a power of two
+	} {
+		if _, err := e.OpenSlice(fmt.Sprintf("bad-%d-%d", bad[1], bad[2]), bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("OpenSlice(%d,[%d,%d)) accepted", bad[0], bad[1], bad[2])
+		}
+	}
+	// Out-of-slice and out-of-universe ingests are refused atomically.
+	if err := ds.Ingest([]stream.Update{{Index: 10, Delta: 1}}); err == nil {
+		t.Fatal("ingest below the slice accepted")
+	}
+	if err := ds.Ingest([]stream.Update{{Index: 40, Delta: 1}, {Index: 64, Delta: 1}}); err == nil {
+		t.Fatal("ingest beyond the slice accepted")
+	}
+	if err := ds.Ingest([]stream.Update{{Index: 40, Delta: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Whole-transcript provers and proofs are refused on slices.
+	snap := ds.Snapshot()
+	if _, err := snap.NewProver(engine.QuerySelfJoinSize, engine.QueryParams{}); err == nil {
+		t.Fatal("NewProver served a slice")
+	}
+	if _, err := snap.GenerateProof(engine.QuerySelfJoinSize, engine.QueryParams{}); err == nil {
+		t.Fatal("GenerateProof served a slice")
+	}
+	// Kinds outside the seam fail typed on the partial path.
+	if _, err := snap.NewPartialProver(engine.QueryF0, engine.QueryParams{Phi: 0.1}); !errors.Is(err, engine.ErrNotSplittable) {
+		t.Fatalf("F0 partial = %v, want ErrNotSplittable", err)
+	}
+}
+
+// TestSlicePartialBitIdentical is the engine half of the split-universe
+// contract: S engines each owning one slice, fed by a scatter of the
+// same global batches, produce — through NewPartialProver sessions and
+// a SplitAggregator — the version and the transcript of a single engine
+// holding the whole dataset. Covers every seam kind × S ∈ {1, 2, 4}.
+func TestSlicePartialBitIdentical(t *testing.T) {
+	const u = 200 // pads to 256
+	batches := [][]stream.Update{
+		stream.UniformDeltas(u, 150, field.NewSplitMix64(71)),
+		stream.UniformDeltas(u, 90, field.NewSplitMix64(72)),
+		{{Index: 0, Delta: 5}, {Index: 199, Delta: -3}}, // touches only the edge slices
+	}
+
+	ref := engine.New(f61, 0)
+	refDS, err := ref.Open("ds", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := refDS.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refSnap := refDS.Snapshot()
+
+	kinds := []struct {
+		name   string
+		kind   engine.QueryKind
+		params engine.QueryParams
+		comb   sumcheck.Combiner
+	}{
+		{"selfjoin", engine.QuerySelfJoinSize, engine.QueryParams{}, sumcheck.Power{K: 2}},
+		{"f3", engine.QueryFk, engine.QueryParams{K: 3}, sumcheck.Power{K: 3}},
+		{"rangesum", engine.QueryRangeSum, engine.QueryParams{A: 17, B: 180}, sumcheck.Product{}},
+	}
+
+	for _, s := range []int{1, 2, 4} {
+		bounds := sliceBounds(t, u, s)
+		engines := make([]*engine.Engine, s)
+		snaps := make([]*engine.Snapshot, s)
+		for k := range engines {
+			engines[k] = engine.New(f61, 0)
+			ds, err := engines[k].OpenSlice("ds", u, bounds[k][0], bounds[k][1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every global batch is delivered to every owner (possibly as an
+			// empty sub-batch) so slice versions track the global version.
+			for _, b := range batches {
+				sub := scatterBatch(b, bounds)
+				if err := ds.Ingest(sub[k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := ds.Version(), refDS.Version(); got != want {
+				t.Fatalf("S=%d slice %d version %d, want %d", s, k, got, want)
+			}
+			snaps[k] = ds.Snapshot()
+		}
+
+		for _, tc := range kinds {
+			params, err := lde.ParamsForUniverse(u, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			challenges := f61.RandVec(field.NewSplitMix64(500), params.D)
+
+			refProver, err := refSnap.NewProver(tc.kind, tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refMsg, err := refProver.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refMsgs := []core.Msg{refMsg}
+			for j := 0; j < params.D-1; j++ {
+				m, err := refProver.Step(core.Msg{Elems: []field.Elem{challenges[j]}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				refMsgs = append(refMsgs, m)
+			}
+
+			sessions := make([]core.ProverSession, s)
+			for k, snap := range snaps {
+				if sessions[k], err = snap.NewPartialProver(tc.kind, tc.params); err != nil {
+					t.Fatalf("%s S=%d slice %d: %v", tc.name, s, k, err)
+				}
+			}
+			agg, msgs := driveSplit(t, f61, u, tc.comb, sessions, challenges)
+			if agg.Version() != refSnap.Version() {
+				t.Fatalf("%s S=%d: aggregated version %d, want %d", tc.name, s, agg.Version(), refSnap.Version())
+			}
+			if len(msgs) != len(refMsgs) {
+				t.Fatalf("%s S=%d: %d messages, want %d", tc.name, s, len(msgs), len(refMsgs))
+			}
+			for j := range msgs {
+				if len(msgs[j].Ints) != len(refMsgs[j].Ints) || len(msgs[j].Elems) != len(refMsgs[j].Elems) {
+					t.Fatalf("%s S=%d message %d: shape (%d,%d) ≠ (%d,%d)", tc.name, s, j,
+						len(msgs[j].Ints), len(msgs[j].Elems), len(refMsgs[j].Ints), len(refMsgs[j].Elems))
+				}
+				for c := range msgs[j].Elems {
+					if msgs[j].Elems[c] != refMsgs[j].Elems[c] {
+						t.Fatalf("%s S=%d message %d elem %d: %d ≠ %d", tc.name, s, j, c,
+							msgs[j].Elems[c], refMsgs[j].Elems[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSliceHandoffMidIngest is the acceptance bound for rebalancing a
+// split dataset: a slice released while its owner is still ingesting
+// loses no acknowledged batch — every batch acked before Release
+// returns is in the adopted state, every racing batch fails in full.
+func TestSliceHandoffMidIngest(t *testing.T) {
+	const u = 100
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+
+	src := engine.New(f61, 0)
+	if err := src.SetDataDir(srcDir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := src.OpenSlice("ds", u, 32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var acked atomic.Uint64 // updates acknowledged to the "client"
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); ; i++ {
+			batch := []stream.Update{
+				{Index: 32 + i%32, Delta: 1},
+				{Index: 63 - i%16, Delta: 2},
+			}
+			if err := ds.Ingest(batch); err != nil {
+				if !errors.Is(err, engine.ErrReleased) {
+					t.Errorf("mid-ingest failure other than ErrReleased: %v", err)
+				}
+				return
+			}
+			acked.Add(uint64(len(batch)))
+		}
+	}()
+
+	// Let some batches land, then pull the slice out from under the
+	// ingester.
+	for acked.Load() < 64 {
+		time.Sleep(10 * time.Microsecond)
+	}
+	n, err := src.Release("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if got := acked.Load(); n < got {
+		t.Fatalf("released checkpoint covers %d updates, but %d were acked", n, got)
+	}
+	if err := os.Rename(filepath.Join(srcDir, store.DatasetFile("ds")), filepath.Join(dstDir, store.DatasetFile("ds"))); err != nil {
+		t.Fatal(err)
+	}
+	dst := engine.New(f61, 0)
+	if err := dst.SetDataDir(dstDir); err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := dst.Adopt("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted != n {
+		t.Fatalf("adopted %d updates, released checkpoint had %d", adopted, n)
+	}
+	got, ok := dst.Get("ds")
+	if !ok {
+		t.Fatal("adopted slice not registered")
+	}
+	if lo, hi, isSlice := got.Slice(); !isSlice || lo != 32 || hi != 64 {
+		t.Fatalf("adopted slice bounds [%d,%d), want [32,64)", lo, hi)
+	}
+	// The adopted slice keeps serving: ingest within bounds, partials open.
+	if err := got.Ingest([]stream.Update{{Index: 40, Delta: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := got.Snapshot().NewPartialProver(engine.QuerySelfJoinSize, engine.QueryParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Open(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSliceEvictRecover: a slice dataset survives the evict/rehydrate
+// cycle and a full engine restart (Recover) with its geometry and its
+// partial transcript bit-intact.
+func TestSliceEvictRecover(t *testing.T) {
+	const u = 1 << 12 // pads to 4096; slice width 1024
+	dir := t.TempDir()
+	e := engine.New(f61, 0)
+	if err := e.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := e.OpenSlice("ds", u, 1024, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]stream.Update, 0, 512)
+	rng := field.NewSplitMix64(9)
+	for i := 0; i < 512; i++ {
+		batch = append(batch, stream.Update{Index: 1024 + rng.Uint64()%1024, Delta: int64(rng.Uint64()%7) - 3})
+	}
+	if err := ds.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	record := func(snap *engine.Snapshot) []core.Msg {
+		t.Helper()
+		sess, err := snap.NewPartialProver(engine.QueryFk, engine.QueryParams{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sess.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := []core.Msg{m}
+		challenges := f61.RandVec(field.NewSplitMix64(77), 10)
+		for j := 0; j < 10; j++ { // head rounds of a width-1024 slice
+			if m, err = sess.Step(core.Msg{Elems: []field.Elem{challenges[j]}}); err != nil {
+				t.Fatal(err)
+			}
+			msgs = append(msgs, m)
+		}
+		return msgs
+	}
+	same := func(a, b []core.Msg, what string) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d messages vs %d", what, len(a), len(b))
+		}
+		for j := range a {
+			if len(a[j].Elems) != len(b[j].Elems) || len(a[j].Ints) != len(b[j].Ints) {
+				t.Fatalf("%s: message %d shape differs", what, j)
+			}
+			for c := range a[j].Elems {
+				if a[j].Elems[c] != b[j].Elems[c] {
+					t.Fatalf("%s: message %d elem %d differs", what, j, c)
+				}
+			}
+			for c := range a[j].Ints {
+				if a[j].Ints[c] != b[j].Ints[c] {
+					t.Fatalf("%s: message %d int %d differs", what, j, c)
+				}
+			}
+		}
+	}
+	before := record(ds.Snapshot())
+
+	// Squeeze the budget so opening a second slice evicts the first.
+	e.SetBudget(1024*16 + 8)
+	if _, err := e.OpenSlice("other", u, 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	same(before, record(ds.Snapshot()), "after evict/rehydrate")
+
+	// Restart: a fresh engine recovers the slice from the checkpoint dir.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := engine.New(f61, 0)
+	if err := e2.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ds2, ok := e2.Get("ds")
+	if !ok {
+		t.Fatal("slice not recovered")
+	}
+	if lo, hi, isSlice := ds2.Slice(); !isSlice || lo != 1024 || hi != 2048 {
+		t.Fatalf("recovered bounds [%d,%d), want [1024,2048)", lo, hi)
+	}
+	if ds2.Version() != ds.Version() {
+		t.Fatalf("recovered version %d, want %d", ds2.Version(), ds.Version())
+	}
+	same(before, record(ds2.Snapshot()), "after restart")
+}

@@ -204,6 +204,9 @@ func (s *Snapshot) ProofBinding(kind QueryKind, params QueryParams) fs.Binding {
 // bit-identical proof) and self-verifying: the internal verifier checks
 // every message before the proof exists.
 func (s *Snapshot) GenerateProof(kind QueryKind, params QueryParams) (*fs.Proof, error) {
+	if s.ds.sliceHi != 0 {
+		return nil, fmt.Errorf("engine: dataset %q is a universe slice; split proofs are assembled by the aggregator", s.ds.name)
+	}
 	b := s.ProofBinding(kind, params)
 	v, err := s.NewVerifier(kind, params, b.RNG())
 	if err != nil {

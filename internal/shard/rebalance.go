@@ -182,7 +182,98 @@ func (r *Router) flipRoute(dataset, shardName string) error {
 		r.table.Routes = make(map[string]string)
 	}
 	r.table.Routes[dataset] = shardName
-	tbl, path := r.table, r.TablePath
+	// Marshal a snapshot, not the live table: another flip may mutate it
+	// while Save serializes outside the lock.
+	tbl, path := r.table.clone(), r.TablePath
+	r.mu.Unlock()
+	if path == "" {
+		return nil
+	}
+	return tbl.Save(path)
+}
+
+// RebalanceSlice moves one slice of a split dataset to the named target
+// shard by the same checkpoint handoff as Rebalance, then flips the
+// slice's owner in the split spec. New OPENs and scatter re-attachments
+// of the dataset are frozen for the duration; the proxy's deliverSlice
+// retry makes an in-flight ingest survive the move with no acked batch
+// lost. The target must not already own another slice of the dataset —
+// slice checkpoints are named by dataset alone, so two slices in one
+// data dir would collide.
+func (r *Router) RebalanceSlice(dataset string, slice int, target string) error {
+	tgt, src, err := r.freezeForSlice(dataset, slice, target)
+	if err != nil {
+		return err
+	}
+	defer r.unfreeze(dataset)
+	if src.Name == tgt.Name {
+		return nil // already home; split owners are always explicit, nothing to pin
+	}
+	if src.DataDir == "" || tgt.DataDir == "" {
+		return fmt.Errorf("shard: rebalance needs data dirs on both %q and %q", src.Name, tgt.Name)
+	}
+	released, err := adminCall(src.Addr, func(c *wire.Client) (uint64, error) { return c.Handoff(dataset) })
+	if err != nil {
+		return fmt.Errorf("shard: handoff of %q slice %d from %q: %w", dataset, slice, src.Name, err)
+	}
+	file := store.DatasetFile(dataset)
+	if err := moveFile(filepath.Join(src.DataDir, file), filepath.Join(tgt.DataDir, file)); err != nil {
+		return fmt.Errorf("shard: moving checkpoint of %q slice %d: %w", dataset, slice, err)
+	}
+	adopted, err := adminCall(tgt.Addr, func(c *wire.Client) (uint64, error) { return c.Adopt(dataset) })
+	if err != nil {
+		return fmt.Errorf("shard: adopt of %q slice %d on %q: %w", dataset, slice, tgt.Name, err)
+	}
+	if adopted != released {
+		return fmt.Errorf("shard: handoff of %q slice %d released %d updates but %q adopted %d — checkpoint mismatch",
+			dataset, slice, released, tgt.Name, adopted)
+	}
+	return r.flipSliceOwner(dataset, slice, tgt.Name)
+}
+
+// freezeForSlice validates a slice move and freezes the dataset's
+// placement in one step.
+func (r *Router) freezeForSlice(dataset string, slice int, target string) (tgt, src ShardInfo, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp, ok := r.table.Splits[dataset]
+	if !ok {
+		return ShardInfo{}, ShardInfo{}, fmt.Errorf("shard: dataset %q is not split; use Rebalance", dataset)
+	}
+	if slice < 0 || slice >= sp.Slices {
+		return ShardInfo{}, ShardInfo{}, fmt.Errorf("shard: dataset %q has slices 0..%d, not %d", dataset, sp.Slices-1, slice)
+	}
+	tgt, ok = r.table.Shard(target)
+	if !ok {
+		return ShardInfo{}, ShardInfo{}, fmt.Errorf("shard: unknown target shard %q", target)
+	}
+	src, ok = r.table.Shard(sp.Owners[slice])
+	if !ok {
+		return ShardInfo{}, ShardInfo{}, fmt.Errorf("shard: slice %d of %q owned by unknown shard %q", slice, dataset, sp.Owners[slice])
+	}
+	for k, name := range sp.Owners {
+		if k != slice && name == target {
+			return ShardInfo{}, ShardInfo{}, fmt.Errorf("shard: shard %q already owns slice %d of %q", target, k, dataset)
+		}
+	}
+	if _, busy := r.migrating[dataset]; busy {
+		return ShardInfo{}, ShardInfo{}, fmt.Errorf("shard: dataset %q is already migrating", dataset)
+	}
+	r.migrating[dataset] = make(chan struct{})
+	return tgt, src, nil
+}
+
+// flipSliceOwner records the slice's new home in the split spec and
+// persists the table when the router has a TablePath.
+func (r *Router) flipSliceOwner(dataset string, slice int, shardName string) error {
+	r.mu.Lock()
+	sp, ok := r.table.Splits[dataset]
+	if !ok || slice < 0 || slice >= len(sp.Owners) {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: dataset %q slice %d vanished from the split spec mid-move", dataset, slice)
+	}
+	sp.Owners[slice] = shardName
+	tbl, path := r.table.clone(), r.TablePath
 	r.mu.Unlock()
 	if path == "" {
 		return nil

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/field"
+	"repro/internal/proofcache"
 	"repro/internal/wire"
 )
 
@@ -35,15 +37,34 @@ type Router struct {
 	// wire.Server.IdleTimeout. Zero means no deadline.
 	IdleTimeout time.Duration
 	// DialTimeout bounds each backend dial attempt (default 2s). A
-	// backend dial retries with exponential backoff (dialAttempts tries)
-	// before the open is failed back to the client.
+	// backend dial retries with exponential backoff until DialRetryBudget
+	// is spent, then the open is failed back to the client.
 	DialTimeout time.Duration
+	// DialRetryBudget bounds the total wall-clock time spent retrying a
+	// backend dial (attempts plus backoff sleeps) before the failure
+	// surfaces as ErrBackendUnavailable. Zero means the default 2s.
+	DialRetryBudget time.Duration
 	// TablePath, when set, is where Rebalance persists the flipped route
 	// so it survives a router restart. A serving router also watches the
 	// file: place() reloads it when its mtime changes, so a route flipped
 	// by a separate process (`siprouter -rebalance`) takes effect without
 	// restarting the router.
 	TablePath string
+	// Field is the prime field the shards compute in. Only the
+	// split-universe fold needs it (the byte-forwarding paths are
+	// field-agnostic); the zero value means field.Mersenne(), matching
+	// the wire server's default.
+	Field field.Field
+	// AggregateStats, when set, makes the router answer a stats request
+	// itself: it fans the request out to every shard and replies with the
+	// summed counters plus a per-shard breakdown, instead of forwarding
+	// to a single backend.
+	AggregateStats bool
+	// ProofCacheBudget caps the router's own split-proof cache (bytes) —
+	// the cache that serves assembled Fiat–Shamir proofs for split
+	// datasets, mirroring wire.Server's per-shard cache. Zero means
+	// wire.DefaultProofCacheBudget.
+	ProofCacheBudget int64
 
 	mu         sync.Mutex
 	table      *Table
@@ -54,15 +75,46 @@ type Router struct {
 	closed     bool
 	rr         int // round-robin cursor for v1 (nameless) placements
 	handlers   sync.WaitGroup
+
+	cacheOnce  sync.Once
+	proofCache *proofcache.Cache // split-proof cache (lazy; see proofCacheRef)
 }
 
 // ErrRouterClosed is returned by Serve after Close.
 var ErrRouterClosed = errors.New("shard: router closed")
 
-const (
-	dialAttempts     = 5
-	dialBackoffFirst = 50 * time.Millisecond
-)
+// ErrBackendUnavailable wraps every backend dial failure after the
+// retry budget is spent, so callers (and tests) can detect a dead shard
+// with errors.Is rather than by error text.
+var ErrBackendUnavailable = errors.New("shard: backend unavailable")
+
+// ErrMigrationInFlight is returned by SetTable while a rebalance is
+// mid-handoff: swapping the table then would race the migration's own
+// route flip and could silently undo it.
+var ErrMigrationInFlight = errors.New("shard: a migration is in flight; retry SetTable after it settles")
+
+const dialBackoffFirst = 50 * time.Millisecond
+
+// field returns the configured field, defaulting to the Mersenne-61
+// field the wire server computes in.
+func (r *Router) field() field.Field {
+	if r.Field.Modulus() == 0 {
+		return field.Mersenne()
+	}
+	return r.Field
+}
+
+// proofCacheRef lazily builds the router's split-proof cache.
+func (r *Router) proofCacheRef() *proofcache.Cache {
+	r.cacheOnce.Do(func() {
+		budget := r.ProofCacheBudget
+		if budget == 0 {
+			budget = wire.DefaultProofCacheBudget
+		}
+		r.proofCache = proofcache.New(budget)
+	})
+	return r.proofCache
+}
 
 // NewRouter returns a router serving the given table.
 func NewRouter(t *Table) (*Router, error) {
@@ -75,28 +127,29 @@ func NewRouter(t *Table) (*Router, error) {
 	}, nil
 }
 
-// Table returns the current routing table (a shallow copy: shards and
-// routes are snapshotted).
+// Table returns the current routing table (a deep copy: shards,
+// routes, and split specs are snapshotted).
 func (r *Router) Table() Table {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cp := Table{Shards: append([]ShardInfo(nil), r.table.Shards...), Routes: make(map[string]string, len(r.table.Routes))}
-	for k, v := range r.table.Routes {
-		cp.Routes[k] = v
-	}
-	return cp
+	return *r.table.clone()
 }
 
 // SetTable swaps the routing table (e.g. after an external edit). Live
 // attachments keep their pinned backends; only new OPENs see the new
-// placement.
+// placement. It fails with ErrMigrationInFlight while a rebalance is
+// mid-handoff — the migration will flip a route on the table it started
+// from, and a concurrent swap would drop that flip.
 func (r *Router) SetTable(t *Table) error {
 	if err := t.validate(); err != nil {
 		return err
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.migrating) > 0 {
+		return ErrMigrationInFlight
+	}
 	r.table = t
-	r.mu.Unlock()
 	return nil
 }
 
@@ -200,24 +253,25 @@ func (r *Router) migrationGate(dataset string) <-chan struct{} {
 // vanished mid-edit, half-written JSON) leave the serving table
 // untouched; the next placement retries.
 func (r *Router) maybeReloadTable() {
+	if r.TablePath == "" {
+		return
+	}
+	// Stat, load, and install under one critical section: a reload that
+	// read the file before a concurrent flip wrote it must not install
+	// its (now stale) table after the flip's, or the flipped route would
+	// silently revert.
 	r.mu.Lock()
-	path, last := r.TablePath, r.tableMTime
-	r.mu.Unlock()
-	if path == "" {
+	defer r.mu.Unlock()
+	fi, err := os.Stat(r.TablePath)
+	if err != nil || fi.ModTime().Equal(r.tableMTime) {
 		return
 	}
-	fi, err := os.Stat(path)
-	if err != nil || fi.ModTime().Equal(last) {
-		return
-	}
-	t, err := LoadTable(path)
+	t, err := LoadTable(r.TablePath)
 	if err != nil {
 		return
 	}
-	r.mu.Lock()
 	r.table = t
 	r.tableMTime = fi.ModTime()
-	r.mu.Unlock()
 }
 
 // place resolves a dataset's shard against the current table, waiting
@@ -243,6 +297,50 @@ func (r *Router) place(dataset string) (ShardInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.table.Place(dataset)
+}
+
+// splitPlacement is a resolved split dataset: its slice count and the
+// owner shard of each slice, in slice order.
+type splitPlacement struct {
+	slices int
+	owners []ShardInfo
+}
+
+// resolve is the split-aware placement: it waits out a migration of the
+// dataset like place, then reports either the single owning shard or
+// the dataset's split placement.
+func (r *Router) resolve(dataset string) (ShardInfo, *splitPlacement, error) {
+	r.maybeReloadTable()
+	for {
+		ch := r.migrationGate(dataset)
+		if ch == nil {
+			break
+		}
+		gateTimeout := r.IdleTimeout
+		if gateTimeout <= 0 {
+			gateTimeout = time.Minute
+		}
+		select {
+		case <-ch:
+		case <-time.After(gateTimeout):
+			return ShardInfo{}, nil, fmt.Errorf("shard: dataset %q is mid-migration and did not settle within %v", dataset, gateTimeout)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sp, ok := r.table.Splits[dataset]; ok {
+		pl := &splitPlacement{slices: sp.Slices, owners: make([]ShardInfo, sp.Slices)}
+		for k, name := range sp.Owners {
+			s, ok := r.table.Shard(name)
+			if !ok { // validate() forbids this; belt and braces
+				return ShardInfo{}, nil, fmt.Errorf("shard: split dataset %q: slice %d owned by unknown shard %q", dataset, k, name)
+			}
+			pl.owners[k] = s
+		}
+		return ShardInfo{}, pl, nil
+	}
+	s, err := r.table.Place(dataset)
+	return s, nil, err
 }
 
 // nextShard picks a shard round-robin — the placement for v1 private
@@ -271,11 +369,18 @@ type proxyConn struct {
 	cwmu   sync.Mutex // serializes client-side frame writes (pumps + teardown)
 
 	flow     wire.FlowState
-	pins     *wire.ChannelPins   // channel id → *backend
+	pins     *wire.ChannelPins   // channel id → *backend or *splitConv
 	backends map[string]*backend // shard name → connection
-	cur      *backend            // backend of the current attachment
+	cur      *backend            // backend of the current attachment (nil when split)
 	pumps    sync.WaitGroup
 	closing  chan struct{} // closed when the proxy tears down
+
+	// Split-universe state. A split dataset is served through per-slice
+	// wire.Clients (the router speaks the partial-prover protocol to the
+	// owners and folds), not through byte-pump backends.
+	split        *splitAttach            // current attachment when it is split
+	splitClients map[string]*wire.Client // shard name + "\x00" + dataset → slice client
+	splitConns   []*wire.Client          // every slice client ever dialed (append-only, closed in close)
 }
 
 func newProxyConn(r *Router, conn net.Conn) *proxyConn {
@@ -292,6 +397,9 @@ func (p *proxyConn) close() {
 	close(p.closing)
 	for _, b := range p.backends {
 		_ = b.conn.Close()
+	}
+	for _, c := range p.splitConns {
+		_ = c.Close()
 	}
 	p.pumps.Wait()
 }
@@ -339,7 +447,7 @@ func (p *proxyConn) backendFor(s ShardInfo) (*backend, error) {
 	if b := p.backends[s.Name]; b != nil {
 		return b, nil
 	}
-	conn, err := dialBackoff(s.Addr, p.r.DialTimeout)
+	conn, err := dialBackoff(s.Addr, p.r.DialTimeout, p.r.DialRetryBudget)
 	if err != nil {
 		return nil, fmt.Errorf("shard: shard %q (%s) is unreachable: %w", s.Name, s.Addr, err)
 	}
@@ -350,25 +458,48 @@ func (p *proxyConn) backendFor(s ShardInfo) (*backend, error) {
 	return b, nil
 }
 
-// dialBackoff dials with exponential backoff: a shard mid-restart gets
-// dialAttempts chances over ~1.5s before the client sees a failure.
-func dialBackoff(addr string, dialTimeout time.Duration) (net.Conn, error) {
+// dialBackoff dials with exponential backoff under a total wall-clock
+// budget: a shard mid-restart gets several chances, but a dead shard
+// fails the client within the budget rather than after an unbounded
+// attempts × timeout product. The per-attempt dial timeout is capped to
+// the budget's remainder, so the last attempt cannot overshoot.
+func dialBackoff(addr string, dialTimeout, budget time.Duration) (net.Conn, error) {
 	if dialTimeout <= 0 {
 		dialTimeout = 2 * time.Second
 	}
+	if budget <= 0 {
+		budget = 2 * time.Second
+	}
+	deadline := time.Now().Add(budget)
 	var err error
 	delay := dialBackoffFirst
-	for i := 0; i < dialAttempts; i++ {
-		if i > 0 {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				break
+			}
+			if delay > remaining {
+				delay = remaining
+			}
 			time.Sleep(delay)
 			delay *= 2
 		}
+		perAttempt := dialTimeout
+		if remaining := time.Until(deadline); remaining <= 0 {
+			if attempt > 0 {
+				break
+			}
+			// Always make at least one attempt, bounded by dialTimeout.
+		} else if perAttempt > remaining {
+			perAttempt = remaining
+		}
 		var conn net.Conn
-		if conn, err = net.DialTimeout("tcp", addr, dialTimeout); err == nil {
+		if conn, err = net.DialTimeout("tcp", addr, perAttempt); err == nil {
 			return conn, nil
 		}
 	}
-	return nil, err
+	return nil, fmt.Errorf("%w (%s): %v", ErrBackendUnavailable, addr, err)
 }
 
 // pump forwards one backend's frames to the client verbatim, retiring
@@ -436,29 +567,54 @@ func (p *proxyConn) loop() error {
 			if err != nil {
 				return err
 			}
-			p.cur = b
+			p.cur, p.split = b, nil
 			if err := p.writeBackend(b, typ, payload); err != nil {
 				return err
 			}
 		case wire.FrameOpen:
-			name, _, err := wire.DecodeOpen(payload)
+			name, u, err := wire.DecodeOpen(payload)
 			if err != nil {
 				return err
 			}
-			s, err := p.r.place(name)
+			s, pl, err := p.r.resolve(name)
 			if err != nil {
 				return err
+			}
+			if pl != nil {
+				if err := p.openSplit(name, u, pl); err != nil {
+					return err
+				}
+				continue
 			}
 			b, err := p.backendFor(s)
 			if err != nil {
 				return err
 			}
-			p.cur = b
+			p.cur, p.split = b, nil
 			if err := p.writeBackend(b, typ, payload); err != nil {
 				return err
 			}
-		case wire.FrameUpdates, wire.FrameEndStream, wire.FrameQuery:
-			// FlowState guarantees an attachment exists, which pinned cur.
+		case wire.FrameOpenSlice:
+			// Slices are the router's private leg to the owners; a client
+			// attaches to the whole split dataset through a plain OPEN.
+			return fmt.Errorf("%w: open-slice is a shard-facing frame; open the dataset by name and let the router split it", wire.ErrProtocol)
+		case wire.FrameUpdates:
+			if p.split != nil {
+				if err := p.splitIngest(payload); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := p.writeBackend(p.cur, typ, payload); err != nil {
+				return err
+			}
+		case wire.FrameEndStream, wire.FrameQuery:
+			// FlowState guarantees an attachment exists. EndStream is v1-
+			// only so it never has a split attachment; a serial Query on a
+			// split dataset has no single transcript stream to forward.
+			if p.split != nil {
+				return fmt.Errorf("%w: a split dataset serves queries on mux channels only", wire.ErrProtocol)
+			}
 			if err := p.writeBackend(p.cur, typ, payload); err != nil {
 				return err
 			}
@@ -470,10 +626,39 @@ func (p *proxyConn) loop() error {
 			if id == 0 {
 				return fmt.Errorf("%w: channel id 0 is reserved for the control plane", wire.ErrProtocol)
 			}
+			if p.split != nil {
+				if err := p.splitQuery(id, payload); err != nil {
+					return err
+				}
+				continue
+			}
 			// Pin the conversation to the current attachment's shard: a
 			// later OPEN moves cur, not in-flight conversations. The shard
 			// enforces its own concurrency cap (limit 0 here), and its
 			// budget refusal both passes through and unpins (see pump).
+			if _, err := p.pins.Open(id, p.cur, 0); err != nil {
+				return err
+			}
+			if err := p.writeBackend(p.cur, typ, payload); err != nil {
+				return err
+			}
+		case wire.FramePartialQueryCh:
+			// Router chaining: a downstream aggregator treats this router
+			// as one slice owner. Pin and forward like QueryCh — unless the
+			// attachment is split here too, which would nest aggregation.
+			id, err := wire.ChannelID(payload)
+			if err != nil {
+				return err
+			}
+			if id == 0 {
+				return fmt.Errorf("%w: channel id 0 is reserved for the control plane", wire.ErrProtocol)
+			}
+			if p.split != nil {
+				if err := p.refuseChannel(id, fmt.Errorf("shard: partial conversations cannot nest: dataset is already split across shards")); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := p.pins.Open(id, p.cur, 0); err != nil {
 				return err
 			}
@@ -493,6 +678,30 @@ func (p *proxyConn) loop() error {
 			if owner == nil {
 				continue // tombstone absorbed a frame that crossed the shard's error
 			}
+			if sc, split := owner.(*splitConv); split {
+				if finish {
+					// The conversation goroutine sees done, finishes the
+					// owner legs, and retires the pin.
+					sc.finish()
+					continue
+				}
+				_, body, err := wire.DecodeChannel(payload)
+				if err != nil {
+					return err
+				}
+				m, err := wire.DecodeMsg(body)
+				if err != nil {
+					return err
+				}
+				select {
+				case sc.ch <- m:
+				case <-sc.done:
+					// Conversation already over (error path retired it);
+					// lock-step says at most one such frame is in flight.
+				case <-p.closing:
+				}
+				continue
+			}
 			b := owner.(*backend)
 			if err := p.writeBackend(b, typ, payload); err != nil {
 				return err
@@ -503,6 +712,12 @@ func (p *proxyConn) loop() error {
 				p.pins.Retire(id, b, false)
 			}
 		case wire.FrameProofReqCh:
+			if p.split != nil {
+				if err := p.splitProofReq(payload); err != nil {
+					return err
+				}
+				continue
+			}
 			// One-shot request/response: the reply (or per-channel error)
 			// comes straight back on the same backend, no pin needed.
 			if err := p.writeBackend(p.cur, typ, payload); err != nil {
@@ -518,9 +733,12 @@ func (p *proxyConn) loop() error {
 			if err != nil {
 				return err
 			}
-			s, err := p.r.place(name)
+			s, pl, err := p.r.resolve(name)
 			if err != nil {
 				return err
+			}
+			if pl != nil {
+				return fmt.Errorf("shard: dataset %q is split; move one slice at a time with RebalanceSlice", name)
 			}
 			b, err := p.backendFor(s)
 			if err != nil {
@@ -530,6 +748,12 @@ func (p *proxyConn) loop() error {
 				return err
 			}
 		case wire.FrameStatsReq:
+			if p.r.AggregateStats {
+				if err := p.aggregatedStatsReply(); err != nil {
+					return err
+				}
+				continue
+			}
 			// Stats are per shard; report the current attachment's, or the
 			// first shard's for an unattached admin probe.
 			b := p.cur

@@ -1,0 +1,644 @@
+// The split-universe path: one dataset too large for a single engine,
+// spread as power-of-two slices of its padded universe across several
+// shards. Unlike the byte-forwarding routes in router.go, the router is
+// a protocol PARTICIPANT here — it attaches to every owner over the
+// shard-facing slice calls (wire.OpenDatasetSlice, wire.PartialQuery),
+// scatters each ingest batch, and folds the owners' partial-prover
+// messages with core.SplitAggregator into the single conversation the
+// client sees. The client-facing protocol is unchanged: sip.Client and
+// wire.Client speak to a split dataset exactly as to a whole one, and
+// the transcript — and therefore every verifier decision and every
+// cached Fiat–Shamir proof byte — is bit-identical to a single engine
+// holding the whole dataset.
+//
+// Version discipline: a slice's dataset version counts DELIVERED
+// batches (engine.IngestColumns bumps a slice on every delivered batch,
+// empty or not), so the scatter delivers every non-empty global batch
+// to every owner — one frame each, empty sub-batches included — and
+// acks a fully-empty global batch locally. Slice versions then track
+// the single-engine version exactly, which is what lets the aggregator
+// pin one version across owners and the proof binding carry the same
+// version a single engine would.
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/field"
+	"repro/internal/fs"
+	"repro/internal/lde"
+	"repro/internal/proofcache"
+	"repro/internal/stream"
+	"repro/internal/sumcheck"
+	"repro/internal/wire"
+)
+
+// splitCombiner maps a query kind to the combiner the aggregator folds
+// under — the router-side mirror of engine.NewPartialProver's seam
+// coverage. Kinds outside the seam fail with the engine's typed error.
+func splitCombiner(kind wire.QueryKind, params wire.QueryParams) (sumcheck.Combiner, error) {
+	switch kind {
+	case wire.QuerySelfJoinSize:
+		return sumcheck.Power{K: 2}, nil
+	case wire.QueryFk:
+		return sumcheck.Power{K: int(params.K)}, nil
+	case wire.QueryRangeSum:
+		return sumcheck.Product{}, nil
+	default:
+		return nil, fmt.Errorf("%w: kind %d", engine.ErrNotSplittable, kind)
+	}
+}
+
+// splitAttach is one client connection's attachment to a split dataset:
+// the geometry plus the per-slice owner legs. The owner slice is
+// mutable (a slice handoff swaps in a freshly attached client); the
+// mutex covers owners and count, which the read loop and conversation
+// goroutines share.
+type splitAttach struct {
+	name   string
+	u      uint64 // client-declared global universe
+	width  uint64 // slice width over the padded universe
+	slices int
+
+	mu     sync.Mutex
+	owners []*wire.Client // slice k → its owner leg
+	count  uint64         // last acked global update count
+}
+
+// bounds returns slice k's [lo, hi) over the padded universe.
+func (a *splitAttach) bounds(k int) (lo, hi uint64) {
+	return uint64(k) * a.width, uint64(k+1) * a.width
+}
+
+func (a *splitAttach) owner(k int) *wire.Client {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.owners[k]
+}
+
+// swapOwner installs a replacement leg for slice k. The old client is
+// NOT closed: in-flight conversations may still be draining it; the
+// proxy's append-only connection list closes it at teardown.
+func (a *splitAttach) swapOwner(k int, c *wire.Client) {
+	a.mu.Lock()
+	a.owners[k] = c
+	a.mu.Unlock()
+}
+
+func (a *splitAttach) clients() []*wire.Client {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*wire.Client(nil), a.owners...)
+}
+
+func (a *splitAttach) setCount(n uint64) {
+	a.mu.Lock()
+	a.count = n
+	a.mu.Unlock()
+}
+
+func (a *splitAttach) total() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.count
+}
+
+// openConvs opens one partial conversation per owner, in slice order.
+// The caller must be the client read loop (or hold no later frames):
+// opening synchronously in frame-arrival order is what guarantees every
+// owner snapshots the same set of this connection's acknowledged
+// batches — the same ordering a single engine's mux gives one dataset.
+func (a *splitAttach) openConvs(kind wire.QueryKind, params wire.QueryParams) ([]*wire.PartialConv, error) {
+	owners := a.clients()
+	convs := make([]*wire.PartialConv, len(owners))
+	for k, c := range owners {
+		conv, err := c.PartialQuery(kind, params)
+		if err != nil {
+			finishConvs(convs)
+			return nil, fmt.Errorf("shard: opening partial conversation on slice %d of %q: %w", k, a.name, err)
+		}
+		convs[k] = conv
+	}
+	return convs, nil
+}
+
+// finishConvs closes every non-nil conversation; idempotent.
+func finishConvs(convs []*wire.PartialConv) {
+	for _, c := range convs {
+		if c != nil {
+			_ = c.Finish()
+		}
+	}
+}
+
+// splitConv is a live split conversation's pin owner: the read loop
+// feeds client challenges into ch, and done tells the conversation
+// goroutine the client finished (or abandoned) the channel.
+type splitConv struct {
+	ch   chan core.Msg
+	done chan struct{}
+	once sync.Once
+}
+
+func (sc *splitConv) finish() { sc.once.Do(func() { close(sc.done) }) }
+
+var (
+	errSplitFinished = errors.New("shard: split conversation finished by the client")
+	errSplitClosed   = errors.New("shard: proxy connection closing")
+)
+
+// splitClient returns this connection's owner leg to (shard, dataset),
+// dialing on first use. One wire.Client per pair: a client carries a
+// single attachment, and distinct split datasets on one proxy
+// connection may share a shard.
+func (p *proxyConn) splitClient(s ShardInfo, dataset string) (*wire.Client, error) {
+	key := s.Name + "\x00" + dataset
+	if c := p.splitClients[key]; c != nil {
+		return c, nil
+	}
+	if p.splitClients == nil {
+		p.splitClients = make(map[string]*wire.Client)
+	}
+	c, err := p.dialSplitLeg(s)
+	if err != nil {
+		return nil, err
+	}
+	p.splitClients[key] = c
+	return c, nil
+}
+
+// dialSplitLeg dials a fresh owner leg with the same bounded retry as a
+// byte-forwarding backend.
+func (p *proxyConn) dialSplitLeg(s ShardInfo) (*wire.Client, error) {
+	conn, err := dialBackoff(s.Addr, p.r.DialTimeout, p.r.DialRetryBudget)
+	if err != nil {
+		return nil, fmt.Errorf("shard: shard %q (%s) is unreachable: %w", s.Name, s.Addr, err)
+	}
+	c := wire.NewClient(conn)
+	if t := p.r.IdleTimeout; t > 0 {
+		c.Timeout = t
+	}
+	p.splitConns = append(p.splitConns, c)
+	return c, nil
+}
+
+// openSplit attaches the client connection to a split dataset: one
+// OpenDatasetSlice per owner, in slice order, then the summed count is
+// acked exactly as a single engine would ack its whole-dataset OPEN.
+func (p *proxyConn) openSplit(name string, u uint64, pl *splitPlacement) error {
+	params, err := lde.ParamsForUniverse(u, 2)
+	if err != nil {
+		return err
+	}
+	if uint64(pl.slices)*2 > params.U {
+		return fmt.Errorf("shard: dataset %q: universe %d pads to %d, too small for %d slices (slice width must be ≥ 2)",
+			name, u, params.U, pl.slices)
+	}
+	a := &splitAttach{
+		name:   name,
+		u:      u,
+		width:  params.U / uint64(pl.slices),
+		slices: pl.slices,
+		owners: make([]*wire.Client, pl.slices),
+	}
+	var total uint64
+	for k, s := range pl.owners {
+		c, err := p.splitClient(s, name)
+		if err != nil {
+			return err
+		}
+		lo, hi := a.bounds(k)
+		n, err := c.OpenDatasetSlice(name, u, lo, hi)
+		if err != nil {
+			return fmt.Errorf("shard: opening slice %d of %q on shard %q: %w", k, name, s.Name, err)
+		}
+		a.owners[k] = c
+		total += n
+	}
+	a.count = total
+	p.split, p.cur = a, nil
+	return p.writeClient(wire.FrameOK, wire.EncodeCount(total))
+}
+
+// splitIngest scatters one global updates batch across the owners. A
+// non-empty batch is delivered to EVERY owner (empty sub-batches
+// included) so slice versions track the global version; a fully-empty
+// batch is acked locally, mirroring the engine's no-bump rule for empty
+// whole-dataset batches.
+func (p *proxyConn) splitIngest(payload []byte) error {
+	a := p.split
+	idx, deltas, err := wire.DecodeUpdateColumns(payload)
+	if err != nil {
+		return err
+	}
+	if len(idx) == 0 {
+		return p.writeClient(wire.FrameOK, wire.EncodeCount(a.total()))
+	}
+	subs := make([][]stream.Update, a.slices)
+	for i, ix := range idx {
+		if ix >= a.u {
+			// The engine's own bounds refusal, verbatim: validated here
+			// because each owner only knows its slice.
+			return fmt.Errorf("engine: index %d outside universe [0,%d)", ix, a.u)
+		}
+		k := int(ix / a.width)
+		subs[k] = append(subs[k], stream.Update{Index: ix, Delta: deltas[i]})
+	}
+	var total uint64
+	for k := 0; k < a.slices; k++ {
+		n, err := p.deliverSlice(a, k, subs[k])
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	a.setCount(total)
+	return p.writeClient(wire.FrameOK, wire.EncodeCount(total))
+}
+
+// deliverSlice hands slice k its sub-batch, surviving a concurrent
+// slice handoff: a delivery refused mid-migration (the source engine
+// released the slice after checkpointing, so the refused batch was not
+// applied) is re-sent through a fresh attachment to the slice's new
+// home. Three attempts bound a migration storm.
+func (p *proxyConn) deliverSlice(a *splitAttach, k int, sub []stream.Update) (uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			if err := p.reattachSlice(a, k); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		n, err := a.owner(k).IngestBatch(sub)
+		if err == nil {
+			return n, nil
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("shard: delivering batch to slice %d of %q: %w", k, a.name, lastErr)
+}
+
+// reattachSlice re-resolves slice k's owner (waiting out any in-flight
+// migration through the gate in resolve) and swaps in a freshly dialed,
+// freshly attached leg. The previous leg is left to drain.
+func (p *proxyConn) reattachSlice(a *splitAttach, k int) error {
+	_, pl, err := p.r.resolve(a.name)
+	if err != nil {
+		return err
+	}
+	if pl == nil || pl.slices != a.slices {
+		return fmt.Errorf("shard: dataset %q is no longer split %d ways", a.name, a.slices)
+	}
+	s := pl.owners[k]
+	c, err := p.dialSplitLeg(s)
+	if err != nil {
+		return err
+	}
+	p.splitClients[s.Name+"\x00"+a.name] = c
+	lo, hi := a.bounds(k)
+	if _, err := c.OpenDatasetSlice(a.name, a.u, lo, hi); err != nil {
+		return fmt.Errorf("shard: re-attaching slice %d of %q on shard %q: %w", k, a.name, s.Name, err)
+	}
+	a.swapOwner(k, c)
+	return nil
+}
+
+// refuseChannel fails one channel with the typed per-channel frame the
+// server would use, tombstoning the id so the one in-flight client
+// frame lock-step permits is absorbed rather than fatal.
+func (p *proxyConn) refuseChannel(id uint32, err error) error {
+	typ := byte(wire.FrameErrorCh)
+	if errors.Is(err, wire.ErrBudget) {
+		typ = wire.FrameBudgetCh
+	}
+	p.pins.Retire(id, nil, true)
+	return p.writeClient(typ, wire.EncodeChannel(id, []byte(err.Error())))
+}
+
+// splitQuery starts one interactive split conversation: the owner
+// conversations open synchronously in the read loop (frame-arrival
+// order pins the snapshot set), then a goroutine drives the fold.
+func (p *proxyConn) splitQuery(id uint32, payload []byte) error {
+	a := p.split
+	_, body, err := wire.DecodeChannel(payload)
+	if err != nil {
+		return err
+	}
+	kind, params, err := wire.DecodeQuery(body)
+	if err != nil {
+		return err
+	}
+	comb, err := splitCombiner(kind, params)
+	if err != nil {
+		return p.refuseChannel(id, err)
+	}
+	convs, err := a.openConvs(kind, params)
+	if err != nil {
+		return err // an owner leg died: connection-fatal, like a lost backend
+	}
+	sc := &splitConv{ch: make(chan core.Msg, 4), done: make(chan struct{})}
+	if _, err := p.pins.Open(id, sc, 0); err != nil {
+		finishConvs(convs)
+		return err
+	}
+	p.pumps.Add(1)
+	go p.runSplitConv(id, sc, a, comb, kind, params, convs)
+	return nil
+}
+
+// foldOpenings reads every owner's opening and folds them. A version
+// skew (another connection's batch landed between our opens) finishes
+// the stale conversations and reopens — bounded retries, because under
+// concurrent ingest "the" version is whatever one consistent cut says.
+func (p *proxyConn) foldOpenings(a *splitAttach, comb sumcheck.Combiner, kind wire.QueryKind, params wire.QueryParams, convs []*wire.PartialConv) (*core.SplitAggregator, core.Msg, []*wire.PartialConv, error) {
+	f := p.r.field()
+	for attempt := 0; ; attempt++ {
+		parts := make([]core.Msg, len(convs))
+		var err error
+		for k, conv := range convs {
+			if parts[k], err = conv.Msg(); err != nil {
+				finishConvs(convs)
+				return nil, core.Msg{}, convs, err
+			}
+		}
+		agg, err := core.NewSplitAggregator(f, a.u, a.slices, comb, 0)
+		if err != nil {
+			finishConvs(convs)
+			return nil, core.Msg{}, convs, err
+		}
+		opening, err := agg.Open(parts)
+		if err == nil {
+			return agg, opening, convs, nil
+		}
+		finishConvs(convs)
+		if !errors.Is(err, core.ErrSplitVersion) || attempt >= 3 {
+			return nil, core.Msg{}, convs, err
+		}
+		if convs, err = a.openConvs(kind, params); err != nil {
+			return nil, core.Msg{}, convs, err
+		}
+	}
+}
+
+// runSplitRounds drives the aggregator from after Open to Done: each
+// iteration consumes one verifier challenge and emits one folded prover
+// message. Broadcast rounds fan the challenge to every owner and
+// collect their partials; once the tail starts the owners are done and
+// the aggregator folds alone.
+func runSplitRounds(agg *core.SplitAggregator, convs []*wire.PartialConv, challenge func(j int) (core.Msg, error), emit func(core.Msg) error) error {
+	for j := 0; !agg.Done(); j++ {
+		m, err := challenge(j)
+		if err != nil {
+			return err
+		}
+		if len(m.Elems) != 1 {
+			return fmt.Errorf("%w: challenge carries %d field elements, want 1", wire.ErrProtocol, len(m.Elems))
+		}
+		var out core.Msg
+		if agg.Broadcast() {
+			for _, conv := range convs {
+				if err := conv.Challenge(m); err != nil {
+					return err
+				}
+			}
+			parts := make([]core.Msg, len(convs))
+			for k, conv := range convs {
+				if parts[k], err = conv.Msg(); err != nil {
+					return err
+				}
+			}
+			if out, err = agg.Collect(parts); err != nil {
+				return err
+			}
+			if agg.TailStarted() {
+				finishConvs(convs)
+			}
+		} else {
+			if out, err = agg.Next(m.Elems[0]); err != nil {
+				return err
+			}
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSplitConv is the conversation goroutine for one interactive split
+// query: it plays the server's side of the mux conversation against the
+// client while folding the owners underneath.
+func (p *proxyConn) runSplitConv(id uint32, sc *splitConv, a *splitAttach, comb sumcheck.Combiner, kind wire.QueryKind, params wire.QueryParams, convs []*wire.PartialConv) {
+	defer p.pumps.Done()
+	fail := func(err error) {
+		finishConvs(convs)
+		typ := byte(wire.FrameErrorCh)
+		if errors.Is(err, wire.ErrBudget) {
+			typ = wire.FrameBudgetCh
+		}
+		p.pins.Retire(id, sc, true)
+		sc.finish()
+		_ = p.writeClient(typ, wire.EncodeChannel(id, []byte(err.Error())))
+	}
+	agg, opening, convs, err := p.foldOpenings(a, comb, kind, params, convs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := p.writeClient(wire.FrameProverCh, wire.EncodeChannel(id, wire.EncodeMsg(opening))); err != nil {
+		finishConvs(convs)
+		p.pins.Retire(id, sc, true)
+		return
+	}
+	challenge := func(int) (core.Msg, error) {
+		select {
+		case m := <-sc.ch:
+			return m, nil
+		case <-sc.done:
+			return core.Msg{}, errSplitFinished
+		case <-p.closing:
+			return core.Msg{}, errSplitClosed
+		}
+	}
+	emit := func(m core.Msg) error {
+		return p.writeClient(wire.FrameProverCh, wire.EncodeChannel(id, wire.EncodeMsg(m)))
+	}
+	if err := runSplitRounds(agg, convs, challenge, emit); err != nil {
+		if errors.Is(err, errSplitFinished) || errors.Is(err, errSplitClosed) {
+			// The client walked away (or the proxy is closing): quiet
+			// teardown, exactly as the server treats an early finish.
+			finishConvs(convs)
+			p.pins.Retire(id, sc, false)
+			return
+		}
+		fail(err)
+		return
+	}
+	finishConvs(convs)
+	// Conversation complete: wait for the client's finish frame (routed
+	// to sc by the read loop) before retiring the pin.
+	select {
+	case <-sc.done:
+	case <-p.closing:
+	}
+	p.pins.Retire(id, sc, false)
+}
+
+// splitProofReq serves one PROOF request against a split dataset. The
+// router assembles the Fiat–Shamir proof itself: the challenge stream
+// is a pure function of the binding (core.SumcheckChallenges is pinned
+// equal to the verifier's), so driving the owners with it and absorbing
+// the folded messages into the binding's transcript reproduces the
+// exact bytes a single engine's fs.Prove would cache.
+func (p *proxyConn) splitProofReq(payload []byte) error {
+	a := p.split
+	id, body, err := wire.DecodeChannel(payload)
+	if err != nil {
+		return err
+	}
+	reqVersion, kind, params, err := wire.DecodeProofReq(body)
+	if err != nil {
+		return err
+	}
+	comb, err := splitCombiner(kind, params)
+	if err != nil {
+		return p.refuseChannel(id, err)
+	}
+	convs, err := a.openConvs(kind, params)
+	if err != nil {
+		return err
+	}
+	p.pumps.Add(1)
+	go p.runSplitProof(id, a, comb, kind, params, reqVersion, convs)
+	return nil
+}
+
+// runSplitProof folds the owners into an encoded proof, through the
+// router's proof cache: one assembly per (dataset, version, query),
+// shared by every requesting connection.
+func (p *proxyConn) runSplitProof(id uint32, a *splitAttach, comb sumcheck.Combiner, kind wire.QueryKind, params wire.QueryParams, reqVersion uint64, convs []*wire.PartialConv) {
+	defer p.pumps.Done()
+	fail := func(err error) {
+		finishConvs(convs)
+		typ := byte(wire.FrameErrorCh)
+		if errors.Is(err, wire.ErrBudget) {
+			typ = wire.FrameBudgetCh
+		}
+		_ = p.writeClient(typ, wire.EncodeChannel(id, []byte(err.Error())))
+	}
+	agg, opening, convs, err := p.foldOpenings(a, comb, kind, params, convs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if reqVersion != 0 && reqVersion != agg.Version() {
+		// The server's version-pin refusal, verbatim.
+		finishConvs(convs)
+		_ = p.writeClient(wire.FrameErrorCh, wire.EncodeChannel(id, fmt.Appendf(nil,
+			"proof version %d is not current (dataset %q is at version %d)", reqVersion, a.name, agg.Version())))
+		return
+	}
+	f := p.r.field()
+	binding := fs.Binding{
+		Modulus:  f.Modulus(),
+		Universe: a.u,
+		Dataset:  a.name,
+		Version:  agg.Version(),
+		Query:    engine.FSQuery(kind, params),
+	}
+	key := proofcache.Key{Dataset: a.name, Version: agg.Version(), Query: string(binding.Query.Encode())}
+	val, err := p.r.proofCacheRef().Get(key, func() ([]byte, error) {
+		challenges, err := core.SumcheckChallenges(f, a.u, binding.RNG())
+		if err != nil {
+			return nil, err
+		}
+		msgs := []core.Msg{opening}
+		chFn := func(j int) (core.Msg, error) {
+			return core.Msg{Elems: []field.Elem{challenges[j]}}, nil
+		}
+		emit := func(m core.Msg) error { msgs = append(msgs, m); return nil }
+		if err := runSplitRounds(agg, convs, chFn, emit); err != nil {
+			return nil, err
+		}
+		t := binding.Transcript()
+		for _, m := range msgs {
+			t.AbsorbMsg("prover", m)
+		}
+		pf := &fs.Proof{Binding: binding, Messages: msgs, Digest: t.Digest()}
+		return pf.Encode(), nil
+	})
+	// On a cache hit the owner conversations were opened and never
+	// driven past their openings; Finish is idempotent either way.
+	finishConvs(convs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	_ = p.writeClient(wire.FrameProofCh, wire.EncodeChannel(id, val))
+}
+
+// ---------------------------------------------------------------------
+// Aggregated stats.
+
+// AggregatedStats fans a stats request out to every shard and merges
+// the replies: summed counters at the top level, the per-shard
+// breakdown (plus the router's own split-proof cache, as "router")
+// under Shards.
+func (r *Router) AggregatedStats() (wire.ServerStats, error) {
+	r.maybeReloadTable()
+	r.mu.Lock()
+	shards := append([]ShardInfo(nil), r.table.Shards...)
+	r.mu.Unlock()
+	agg := wire.ServerStats{Shards: make(map[string]wire.ServerStats, len(shards)+1)}
+	add := func(name string, st wire.ServerStats) {
+		agg.ProofCache.Hits += st.ProofCache.Hits
+		agg.ProofCache.Misses += st.ProofCache.Misses
+		agg.ProofCache.Evictions += st.ProofCache.Evictions
+		agg.ProofCache.Coalesced += st.ProofCache.Coalesced
+		agg.ProofCache.Bytes += st.ProofCache.Bytes
+		agg.ProofCache.Entries += st.ProofCache.Entries
+		agg.DatasetsRecovered += st.DatasetsRecovered
+		for _, f := range st.RecoveryFailures {
+			agg.RecoveryFailures = append(agg.RecoveryFailures, name+": "+f)
+		}
+		agg.Shards[name] = st
+	}
+	for _, s := range shards {
+		conn, err := dialBackoff(s.Addr, r.DialTimeout, r.DialRetryBudget)
+		if err != nil {
+			return wire.ServerStats{}, fmt.Errorf("shard: stats from shard %q: %w", s.Name, err)
+		}
+		c := wire.NewClient(conn)
+		if t := r.IdleTimeout; t > 0 {
+			c.Timeout = t
+		}
+		st, err := c.ServerStats()
+		_ = c.Close()
+		if err != nil {
+			return wire.ServerStats{}, fmt.Errorf("shard: stats from shard %q: %w", s.Name, err)
+		}
+		add(s.Name, st)
+	}
+	add("router", wire.ServerStats{ProofCache: r.proofCacheRef().Stats()})
+	return agg, nil
+}
+
+// aggregatedStatsReply answers a client stats request with the merged
+// fleet view (Router.AggregateStats mode).
+func (p *proxyConn) aggregatedStatsReply() error {
+	st, err := p.r.AggregatedStats()
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return p.writeClient(wire.FrameStatsResp, b)
+}

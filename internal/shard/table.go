@@ -49,6 +49,24 @@ type Table struct {
 	// Rebalance writes the moved dataset's new home here, so a route,
 	// once flipped, survives shard-set changes.
 	Routes map[string]string `json:",omitempty"`
+	// Splits maps dataset name → split-universe placement: the dataset
+	// is too large for one engine, so each listed owner holds one
+	// power-of-two slice of its padded universe and the router folds
+	// their partial-prover messages into the single transcript a client
+	// sees. A dataset is either routed or split, never both.
+	Splits map[string]*SplitSpec `json:",omitempty"`
+}
+
+// SplitSpec places one split-universe dataset: slice k of Slices lives
+// on shard Owners[k]. Slices must be a power of two (the sum-check
+// folds the index space in half per round, so the slice boundary must
+// sit on a fold boundary) and each owner must be a distinct registered
+// shard — one slice per shard keeps the on-disk checkpoint name
+// (derived from the dataset name alone) collision-free within a data
+// dir.
+type SplitSpec struct {
+	Slices int
+	Owners []string
 }
 
 // vnodesPerShard is the ring multiplicity: enough virtual nodes that
@@ -70,6 +88,9 @@ func (t *Table) Shard(name string) (ShardInfo, bool) {
 func (t *Table) Place(dataset string) (ShardInfo, error) {
 	if len(t.Shards) == 0 {
 		return ShardInfo{}, fmt.Errorf("shard: table has no shards")
+	}
+	if _, split := t.Splits[dataset]; split {
+		return ShardInfo{}, fmt.Errorf("shard: dataset %q is split across shards; it has no single placement", dataset)
 	}
 	if want, ok := t.Routes[dataset]; ok {
 		s, ok := t.Shard(want)
@@ -151,7 +172,50 @@ func (t *Table) validate() error {
 			return fmt.Errorf("shard: dataset %q is routed to unknown shard %q", ds, want)
 		}
 	}
+	for ds, sp := range t.Splits {
+		if sp == nil {
+			return fmt.Errorf("shard: split dataset %q has no spec", ds)
+		}
+		if _, routed := t.Routes[ds]; routed {
+			return fmt.Errorf("shard: dataset %q is both routed and split", ds)
+		}
+		if sp.Slices < 1 || sp.Slices&(sp.Slices-1) != 0 {
+			return fmt.Errorf("shard: split dataset %q: slice count %d is not a power of two", ds, sp.Slices)
+		}
+		if len(sp.Owners) != sp.Slices {
+			return fmt.Errorf("shard: split dataset %q: %d owners for %d slices", ds, len(sp.Owners), sp.Slices)
+		}
+		owners := make(map[string]struct{}, len(sp.Owners))
+		for k, name := range sp.Owners {
+			if _, ok := t.Shard(name); !ok {
+				return fmt.Errorf("shard: split dataset %q: slice %d owned by unknown shard %q", ds, k, name)
+			}
+			if _, dup := owners[name]; dup {
+				return fmt.Errorf("shard: split dataset %q: shard %q owns more than one slice", ds, name)
+			}
+			owners[name] = struct{}{}
+		}
+	}
 	return nil
+}
+
+// clone deep-copies the table, so a snapshot handed out (or marshaled
+// for Save) is immune to later in-place flips under the router's lock.
+func (t *Table) clone() *Table {
+	c := &Table{Shards: append([]ShardInfo(nil), t.Shards...)}
+	if t.Routes != nil {
+		c.Routes = make(map[string]string, len(t.Routes))
+		for ds, s := range t.Routes {
+			c.Routes[ds] = s
+		}
+	}
+	if t.Splits != nil {
+		c.Splits = make(map[string]*SplitSpec, len(t.Splits))
+		for ds, sp := range t.Splits {
+			c.Splits[ds] = &SplitSpec{Slices: sp.Slices, Owners: append([]string(nil), sp.Owners...)}
+		}
+	}
+	return c
 }
 
 // LoadTable reads a routing table from its JSON file.

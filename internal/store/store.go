@@ -16,15 +16,25 @@
 //	total    int64    Σδ over the ingested stream
 //	updates  uint64   number of stream updates ingested
 //	version  uint64   dataset version (ingest batches applied) — format ≥ 2
-//	nCounts  uint64   padded table length (ℓ^d ≥ universe)
+//	sliceLo  uint64   slice lower bound in the padded universe — format ≥ 3
+//	sliceHi  uint64   slice upper bound (0 = whole-universe dataset) — format ≥ 3
+//	nCounts  uint64   table length: ℓ^d ≥ universe, or sliceHi−sliceLo
 //	counts   nCounts × int64
 //	crc      uint32   CRC-32C over everything above
+//
+// A *slice* checkpoint (format ≥ 3, sliceHi > 0) is a dataset owning
+// only the index range [sliceLo, sliceHi) of a split universe: universe
+// still records the *global* universe size (the protocols are
+// parameterized by it), while counts holds only the slice's
+// sliceHi−sliceLo entries. For whole-universe checkpoints both slice
+// fields are zero and the layout is otherwise identical to format 2.
 //
 // Format 1 files (no dataset-version field) still load; they report
 // Version = Updates, an upper bound on any version the dataset could
 // have reached (each ingest batch bumps the version by one and the
 // update count by at least one), so a recovered dataset can never hand
 // the proof cache a version key it already used for different data.
+// Format 2 files load with zero slice fields.
 //
 // Save is atomic: the bytes are written to a temporary file in the
 // destination directory, synced, and renamed over the target, so a crash
@@ -50,15 +60,17 @@ var magic = [8]byte{'S', 'I', 'P', 'C', 'K', 'P', 'T', version}
 // version is the current checkpoint format version. versionLegacy is
 // the oldest format Decode still reads.
 const (
-	version       = 2
+	version       = 3
+	versionNoGaps = 2 // pre-slice format: no sliceLo/sliceHi fields
 	versionLegacy = 1
 )
 
-// headerSize is the fixed prefix before the counts: magic + six uint64
-// fields. headerSizeLegacy is the format-1 prefix, which lacked the
-// dataset-version field.
+// headerSize is the fixed prefix before the counts: magic + eight
+// uint64 fields. The format-2 prefix lacked the slice-bound fields; the
+// format-1 prefix additionally lacked the dataset-version field.
 const (
-	headerSize       = 8 + 6*8
+	headerSize       = 8 + 8*8
+	headerSizeV2     = 8 + 6*8
 	headerSizeLegacy = 8 + 5*8
 )
 
@@ -81,13 +93,19 @@ var (
 
 // Checkpoint is the durable state of one dataset.
 type Checkpoint struct {
-	Universe uint64  // universe size as requested at creation (pre-padding)
+	Universe uint64  // global universe size as requested at creation (pre-padding)
 	Modulus  uint64  // field modulus the dataset was ingested under
 	Total    int64   // Σδ over the ingested stream
 	Updates  uint64  // stream updates ingested
 	Version  uint64  // dataset version: ingest batches applied (see package doc)
-	Counts   []int64 // dense frequency vector, padded to ℓ^d ≥ Universe
+	SliceLo  uint64  // slice lower bound in the padded universe (0 for whole datasets)
+	SliceHi  uint64  // slice upper bound; 0 means a whole-universe dataset
+	Counts   []int64 // dense frequency vector: padded to ℓ^d ≥ Universe, or the slice's width
 }
+
+// Slice reports whether the checkpoint holds a universe slice rather
+// than a whole dataset.
+func (c *Checkpoint) Slice() bool { return c.SliceHi != 0 }
 
 // Encode serializes the checkpoint.
 func Encode(c *Checkpoint) []byte {
@@ -98,7 +116,9 @@ func Encode(c *Checkpoint) []byte {
 	binary.LittleEndian.PutUint64(out[24:], uint64(c.Total))
 	binary.LittleEndian.PutUint64(out[32:], c.Updates)
 	binary.LittleEndian.PutUint64(out[40:], c.Version)
-	binary.LittleEndian.PutUint64(out[48:], uint64(len(c.Counts)))
+	binary.LittleEndian.PutUint64(out[48:], c.SliceLo)
+	binary.LittleEndian.PutUint64(out[56:], c.SliceHi)
+	binary.LittleEndian.PutUint64(out[64:], uint64(len(c.Counts)))
 	off := headerSize
 	for _, v := range c.Counts {
 		binary.LittleEndian.PutUint64(out[off:], uint64(v))
@@ -122,6 +142,8 @@ func Decode(b []byte, wantModulus uint64) (*Checkpoint, error) {
 	hdr := headerSize
 	switch b[7] {
 	case version:
+	case versionNoGaps:
+		hdr = headerSizeV2
 	case versionLegacy:
 		hdr = headerSizeLegacy
 	default:
@@ -148,11 +170,31 @@ func Decode(b []byte, wantModulus uint64) (*Checkpoint, error) {
 	} else {
 		c.Version = binary.LittleEndian.Uint64(b[40:])
 	}
+	if b[7] == version {
+		c.SliceLo = binary.LittleEndian.Uint64(b[48:])
+		c.SliceHi = binary.LittleEndian.Uint64(b[56:])
+	}
 	nCounts := binary.LittleEndian.Uint64(b[countsAt:])
 	if want := uint64(len(body) - hdr); nCounts*8 != want || nCounts > want {
 		return nil, fmt.Errorf("%w: %d counts in a %d-byte body", ErrCorrupt, nCounts, len(body)-hdr)
 	}
-	if c.Universe > nCounts {
+	if c.Slice() {
+		// A slice's counts cover [SliceLo, SliceHi) of the padded global
+		// universe, so the table is the slice width, not the universe. The
+		// width/alignment discipline mirrors sumcheck.SliceParams; deeper
+		// validation against the dataset's parameterization is the
+		// engine's job at adoption time.
+		width := c.SliceHi - c.SliceLo
+		if c.SliceLo >= c.SliceHi {
+			return nil, fmt.Errorf("%w: slice [%d,%d) is empty", ErrCorrupt, c.SliceLo, c.SliceHi)
+		}
+		if width != nCounts {
+			return nil, fmt.Errorf("%w: slice [%d,%d) has width %d but %d counts", ErrCorrupt, c.SliceLo, c.SliceHi, width, nCounts)
+		}
+		if width < 2 || width&(width-1) != 0 || c.SliceLo%width != 0 {
+			return nil, fmt.Errorf("%w: slice [%d,%d) is not width-aligned power of two", ErrCorrupt, c.SliceLo, c.SliceHi)
+		}
+	} else if c.Universe > nCounts {
 		return nil, fmt.Errorf("%w: universe %d exceeds table length %d", ErrCorrupt, c.Universe, nCounts)
 	}
 	if wantModulus != 0 && c.Modulus != wantModulus {

@@ -151,11 +151,11 @@ func TestDecodeCountsLengthMismatch(t *testing.T) {
 // keeps recovered cache keys fresh.
 func TestDecodeLegacyV1(t *testing.T) {
 	want := sample()
-	v2 := Encode(want)
-	// Rebuild the same checkpoint in the v1 layout: drop the version
-	// field (bytes [40,48)), stamp format byte 1, re-checksum.
-	v1 := append([]byte(nil), v2[:40]...)
-	v1 = append(v1, v2[48:len(v2)-crcSize]...)
+	v3 := Encode(want)
+	// Rebuild the same checkpoint in the v1 layout: drop the version and
+	// slice fields (bytes [40,64)), stamp format byte 1, re-checksum.
+	v1 := append([]byte(nil), v3[:40]...)
+	v1 = append(v1, v3[64:len(v3)-crcSize]...)
 	v1[7] = versionLegacy
 	crc := crc32.Checksum(v1, castagnoli)
 	v1 = binary.LittleEndian.AppendUint32(v1, crc)
@@ -168,6 +168,80 @@ func TestDecodeLegacyV1(t *testing.T) {
 	}
 	want.Version = want.Updates
 	sameCheckpoint(t, got, want)
+}
+
+// TestDecodeV2: a format-2 file (no slice fields) still loads, with
+// zero slice bounds.
+func TestDecodeV2(t *testing.T) {
+	want := sample()
+	v3 := Encode(want)
+	// Rebuild in the v2 layout: drop the slice fields (bytes [48,64)),
+	// stamp format byte 2, re-checksum.
+	v2 := append([]byte(nil), v3[:48]...)
+	v2 = append(v2, v3[64:len(v3)-crcSize]...)
+	v2[7] = versionNoGaps
+	crc := crc32.Checksum(v2, castagnoli)
+	v2 = binary.LittleEndian.AppendUint32(v2, crc)
+	got, err := Decode(v2, want.Modulus)
+	if err != nil {
+		t.Fatalf("Decode of a v2 file: %v", err)
+	}
+	if got.Slice() || got.SliceLo != 0 || got.SliceHi != 0 {
+		t.Fatalf("v2 file decoded with slice bounds [%d,%d)", got.SliceLo, got.SliceHi)
+	}
+	sameCheckpoint(t, got, want)
+}
+
+// TestSliceRoundTrip: a slice checkpoint — counts covering only
+// [SliceLo, SliceHi) of a larger universe — survives save→load, and
+// malformed slice geometry is refused typed.
+func TestSliceRoundTrip(t *testing.T) {
+	counts := make([]int64, 8)
+	for i := range counts {
+		counts[i] = int64(3*i) - 5
+	}
+	want := &Checkpoint{
+		Universe: 29, // padded global universe is 32; this slice owns [8,16)
+		Modulus:  (1 << 61) - 1,
+		Total:    77,
+		Updates:  12,
+		Version:  5,
+		SliceLo:  8,
+		SliceHi:  16,
+		Counts:   counts,
+	}
+	path := filepath.Join(t.TempDir(), "slice.ckpt")
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, want.Modulus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Slice() || got.SliceLo != 8 || got.SliceHi != 16 {
+		t.Fatalf("slice bounds = [%d,%d), want [8,16)", got.SliceLo, got.SliceHi)
+	}
+	sameCheckpoint(t, got, want)
+
+	bad := []struct {
+		name   string
+		mangle func(*Checkpoint)
+	}{
+		{"width-mismatch", func(c *Checkpoint) { c.SliceHi = 24 }},
+		{"empty-slice", func(c *Checkpoint) { c.SliceLo, c.SliceHi, c.Counts = 16, 16, nil }},
+		{"unaligned", func(c *Checkpoint) { c.SliceLo, c.SliceHi = 4, 12 }},
+		{"width-one", func(c *Checkpoint) { c.SliceLo, c.SliceHi, c.Counts = 8, 9, counts[:1] }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			c := *want
+			c.Counts = append([]int64(nil), want.Counts...)
+			tc.mangle(&c)
+			if _, err := Decode(Encode(&c), 0); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode of a %s slice = %v, want ErrCorrupt", tc.name, err)
+			}
+		})
+	}
 }
 
 // FuzzLoadCheckpoint: Decode must never panic on arbitrary bytes, and
@@ -192,7 +266,8 @@ func FuzzLoadCheckpoint(f *testing.F) {
 			t.Fatalf("re-encode of an accepted checkpoint rejected: %v", err)
 		}
 		if c2.Universe != c.Universe || c2.Modulus != c.Modulus || c2.Total != c.Total ||
-			c2.Updates != c.Updates || c2.Version != c.Version || len(c2.Counts) != len(c.Counts) {
+			c2.Updates != c.Updates || c2.Version != c.Version || len(c2.Counts) != len(c.Counts) ||
+			c2.SliceLo != c.SliceLo || c2.SliceHi != c.SliceHi {
 			t.Fatal("re-encode round-trip drifted")
 		}
 	})

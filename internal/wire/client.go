@@ -93,6 +93,13 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection — the constructor for
+// callers that own the dial policy (the shard router dials backends
+// with bounded retry before handing the connection here).
+func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:       conn,
 		handles:    make(map[uint32]*QueryHandle),
@@ -100,7 +107,7 @@ func Dial(addr string) (*Client, error) {
 		readerDone: make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // Close closes the connection.

@@ -34,6 +34,9 @@ const (
 	frameAdopt     = frames.Adopt
 	frameStatsReq  = frames.StatsReq
 	frameStatsResp = frames.StatsResp
+
+	frameOpenSlice      = frames.OpenSlice
+	framePartialQueryCh = frames.PartialQueryCh
 )
 
 const (
@@ -66,4 +69,6 @@ var (
 	decodeChannel       = frames.DecodeChannel
 	encodeProofReq      = frames.EncodeProofReq
 	decodeProofReq      = frames.DecodeProofReq
+	encodeOpenSlice     = frames.EncodeOpenSlice
+	decodeOpenSlice     = frames.DecodeOpenSlice
 )

@@ -63,6 +63,13 @@ const (
 	Adopt     = 0x15 // client→server: recover dataset from the data dir [name]
 	StatsReq  = 0x16 // client→server: request operational stats
 	StatsResp = 0x17 // server→client: JSON-encoded stats
+
+	// Frames 0x18–0x19 are the split-universe revision: a dataset too
+	// large for one engine lives as S universe slices on S shards, and an
+	// aggregator (the shard router) folds their partial messages into the
+	// unchanged client-facing protocol.
+	OpenSlice      = 0x18 // client→server: attach to a universe slice [globalU][lo][hi][name]
+	PartialQueryCh = 0x19 // aggregator→server: open partial-prover channel [ch][query]
 )
 
 // MaxFrame bounds a single frame (64 MiB) to fail fast on corruption.
@@ -228,6 +235,31 @@ func DecodeOpen(b []byte) (name string, u uint64, err error) {
 	return string(b[8:]), binary.LittleEndian.Uint64(b[:8]), nil
 }
 
+// EncodeOpenSlice lays out an open-slice frame: the global universe
+// size, the slice bounds [lo, hi) over the padded global universe, then
+// the dataset name in UTF-8.
+func EncodeOpenSlice(name string, globalU, lo, hi uint64) []byte {
+	out := make([]byte, 24+len(name))
+	binary.LittleEndian.PutUint64(out[:8], globalU)
+	binary.LittleEndian.PutUint64(out[8:16], lo)
+	binary.LittleEndian.PutUint64(out[16:24], hi)
+	copy(out[24:], name)
+	return out
+}
+
+// DecodeOpenSlice parses an open-slice frame. Geometry validation
+// (power-of-two width, alignment) is the engine's, not the codec's.
+func DecodeOpenSlice(b []byte) (name string, globalU, lo, hi uint64, err error) {
+	if len(b) < 25 {
+		return "", 0, 0, 0, fmt.Errorf("%w: open-slice frame %d bytes", ErrProtocol, len(b))
+	}
+	if len(b)-24 > MaxDatasetName {
+		return "", 0, 0, 0, fmt.Errorf("%w: dataset name of %d bytes", ErrProtocol, len(b)-24)
+	}
+	return string(b[24:]), binary.LittleEndian.Uint64(b[:8]),
+		binary.LittleEndian.Uint64(b[8:16]), binary.LittleEndian.Uint64(b[16:24]), nil
+}
+
 // EncodeCount lays out an OK ack payload (a dataset update count).
 func EncodeCount(n uint64) []byte {
 	var b [8]byte
@@ -318,5 +350,5 @@ func DecodeProofReq(b []byte) (version uint64, kind engine.QueryKind, p engine.Q
 // ChannelScoped reports whether typ is a channel-scoped frame (its
 // payload begins with a uint32 channel id).
 func ChannelScoped(typ byte) bool {
-	return typ >= QueryCh && typ <= ProofCh
+	return (typ >= QueryCh && typ <= ProofCh) || typ == PartialQueryCh
 }

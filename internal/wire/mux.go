@@ -102,8 +102,8 @@ func (m *connMux) dispatch(typ byte, payload []byte, ds *engine.Dataset, st conn
 	if id == 0 {
 		return fmt.Errorf("%w: channel id 0 is reserved for the control plane", ErrProtocol)
 	}
-	if typ == frameQueryCh {
-		return m.open(id, rest, ds, st)
+	if typ == frameQueryCh || typ == framePartialQueryCh {
+		return m.open(id, rest, ds, st, typ == framePartialQueryCh)
 	}
 	if typ == frameProofReqCh {
 		// Proof fetches are one-shot request/response: no channel state is
@@ -137,7 +137,11 @@ func (m *connMux) dispatch(typ byte, payload []byte, ds *engine.Dataset, st conn
 // open starts a new conversation channel: admission, a fresh snapshot
 // (taken here, in frame-arrival order, so a query never observes
 // updates the client sent after it), and the conversation goroutine.
-func (m *connMux) open(id uint32, body []byte, ds *engine.Dataset, st connState) error {
+// With partial set the session is the slice owner's partial prover
+// (Snapshot.NewPartialProver) instead of the whole-transcript prover —
+// the split-universe aggregator's side of the conversation; the drive
+// loop is byte-for-byte the same protocol.
+func (m *connMux) open(id uint32, body []byte, ds *engine.Dataset, st connState, partial bool) error {
 	kind, params, err := decodeQuery(body)
 	if err != nil {
 		return err
@@ -176,10 +180,20 @@ func (m *connMux) open(id uint32, body []byte, ds *engine.Dataset, st connState)
 		}
 		return err
 	}
+	mkSession := func() (core.ProverSession, error) {
+		if partial {
+			// Partial sessions prove from the slice tables as they are — the
+			// Corrupt hook is a v1 whole-dataset experiment and does not
+			// apply here (the aggregator pins one version across slices, so
+			// doctoring one slice would only fail the fold).
+			return snap.NewPartialProver(kind, params)
+		}
+		return m.s.buildSession(snap, ds, st, kind, params)
+	}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		m.finish(id, mc, m.serve(id, mc, snap, ds, st, kind, params))
+		m.finish(id, mc, m.serve(id, mc, mkSession))
 	}()
 	return nil
 }
@@ -198,11 +212,12 @@ func (m *connMux) finish(id uint32, mc *muxChan, err error) {
 	}
 }
 
-// serve runs one channel's conversation: build the prover session from
-// the snapshot, then answer challenges until the client finishes, the
-// session errors, or the connection goes away.
-func (m *connMux) serve(id uint32, mc *muxChan, snap *engine.Snapshot, ds *engine.Dataset, st connState, kind QueryKind, params QueryParams) error {
-	session, err := m.s.buildSession(snap, ds, st, kind, params)
+// serve runs one channel's conversation: build the prover session (the
+// expensive part, deferred off the read loop), then answer challenges
+// until the client finishes, the session errors, or the connection goes
+// away.
+func (m *connMux) serve(id uint32, mc *muxChan, mkSession func() (core.ProverSession, error)) error {
+	session, err := mkSession()
 	if err != nil {
 		return err
 	}

@@ -62,6 +62,14 @@ type ServerStats struct {
 	// (engine.ErrPartialRecovery): checkpoints that exist on disk but
 	// could not be loaded. Empty when recovery was clean.
 	RecoveryFailures []string `json:",omitempty"`
+
+	// Shards carries the per-backend breakdown when the stats reply was
+	// assembled by an aggregating router rather than a single server: the
+	// top-level counters are sums across all backends (plus the router's
+	// own split-proof cache, reported as the "router" entry). A plain
+	// server never sets it, and clients that predate it ignore the extra
+	// JSON field.
+	Shards map[string]ServerStats `json:",omitempty"`
 }
 
 // Stats returns the server's counters — the proof cache's

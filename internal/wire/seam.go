@@ -14,6 +14,8 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/core"
+	"repro/internal/stream"
 	"repro/internal/wire/frames"
 )
 
@@ -45,6 +47,9 @@ const (
 	FrameAdopt     = frames.Adopt
 	FrameStatsReq  = frames.StatsReq
 	FrameStatsResp = frames.StatsResp
+
+	FrameOpenSlice      = frames.OpenSlice
+	FramePartialQueryCh = frames.PartialQueryCh
 )
 
 // WriteFrame sends one frame: [uint32 length][uint8 type][payload].
@@ -62,6 +67,57 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 // size — what a router needs to place the dataset on a shard.
 func DecodeOpen(b []byte) (name string, u uint64, err error) {
 	return frames.DecodeOpen(b)
+}
+
+// EncodeOpenSlice lays out an open-slice frame: the global universe
+// size, the slice bounds over the padded global universe, and the
+// dataset name — what a router sends each shard that owns one slice of
+// a split dataset.
+func EncodeOpenSlice(name string, globalU, lo, hi uint64) []byte {
+	return frames.EncodeOpenSlice(name, globalU, lo, hi)
+}
+
+// DecodeOpenSlice parses an open-slice frame.
+func DecodeOpenSlice(b []byte) (name string, globalU, lo, hi uint64, err error) {
+	return frames.DecodeOpenSlice(b)
+}
+
+// EncodeMsg lays out a protocol message (prover message or verifier
+// challenge) — the payload of the conversation frames.
+func EncodeMsg(m core.Msg) []byte { return frames.EncodeMsg(m) }
+
+// DecodeMsg parses a protocol message.
+func DecodeMsg(b []byte) (core.Msg, error) { return frames.DecodeMsg(b) }
+
+// EncodeQuery lays out a query block (the body of a QueryCh or
+// PartialQueryCh frame after the channel id).
+func EncodeQuery(kind QueryKind, p QueryParams) []byte { return frames.EncodeQuery(kind, p) }
+
+// DecodeQuery parses a query block.
+func DecodeQuery(b []byte) (QueryKind, QueryParams, error) { return frames.DecodeQuery(b) }
+
+// EncodeUpdates lays out an updates batch as (index, delta) pairs.
+func EncodeUpdates(ups []stream.Update) []byte { return frames.EncodeUpdates(ups) }
+
+// DecodeUpdateColumns splits an updates payload into index/delta
+// columns — the shape a router scatters across slice owners.
+func DecodeUpdateColumns(b []byte) (idx []uint64, deltas []int64, err error) {
+	return frames.DecodeUpdateColumns(b)
+}
+
+// EncodeCount lays out an OK ack payload (a dataset update count).
+func EncodeCount(n uint64) []byte { return frames.EncodeCount(n) }
+
+// EncodeChannel prefixes a frame payload with its channel id.
+func EncodeChannel(id uint32, payload []byte) []byte { return frames.EncodeChannel(id, payload) }
+
+// DecodeChannel splits a channel-scoped payload into id and body.
+func DecodeChannel(b []byte) (uint32, []byte, error) { return frames.DecodeChannel(b) }
+
+// DecodeProofReq parses a proof request body: the pinned dataset
+// version (0 = current) and the query block.
+func DecodeProofReq(b []byte) (version uint64, kind QueryKind, p QueryParams, err error) {
+	return frames.DecodeProofReq(b)
 }
 
 // EncodeName lays out a handoff/adopt frame payload.
@@ -120,7 +176,7 @@ func (f *FlowState) Advance(typ byte) error {
 			return fmt.Errorf("%w: hello after the stream started", ErrProtocol)
 		}
 		f.st = connV1Load
-	case frameOpen:
+	case frameOpen, frameOpenSlice:
 		if f.st != connStart && f.st != connV2 {
 			return fmt.Errorf("%w: open on a v1 connection", ErrProtocol)
 		}
@@ -138,7 +194,7 @@ func (f *FlowState) Advance(typ byte) error {
 		if f.st != connV1Done && f.st != connV2 {
 			return fmt.Errorf("%w: query before end of stream", ErrProtocol)
 		}
-	case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh:
+	case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh, framePartialQueryCh:
 		if f.st != connV1Done && f.st != connV2 {
 			return fmt.Errorf("%w: conversation frame before queries are allowed", ErrProtocol)
 		}

@@ -475,6 +475,27 @@ func (s *Server) handle(conn net.Conn) error {
 			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
 				return err
 			}
+		case frameOpenSlice:
+			name, globalU, lo, hi, err := decodeOpenSlice(payload)
+			if err != nil {
+				return err
+			}
+			// The universe cap governs what this server allocates, so it
+			// applies to the slice width, not the global universe the slice
+			// belongs to — splitting is exactly how a dataset bigger than any
+			// one server gets served. Inverted bounds fall through to the
+			// engine's geometry validation for the typed refusal.
+			if hi > lo {
+				if err := s.checkUniverse(hi - lo); err != nil {
+					return err
+				}
+			}
+			if ds, err = s.engineRef().OpenSlice(name, globalU, lo, hi); err != nil {
+				return err
+			}
+			if err := mux.write(frameOK, encodeCount(ds.Updates())); err != nil {
+				return err
+			}
 		case frameUpdates:
 			idx, deltas, err := decodeUpdateColumns(payload)
 			if err != nil {
@@ -513,7 +534,7 @@ func (s *Server) handle(conn net.Conn) error {
 			if err := s.converse(conn, mux, session); err != nil {
 				return err
 			}
-		case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh:
+		case frameQueryCh, frameChallengeCh, frameFinishCh, frameProofReqCh, framePartialQueryCh:
 			if err := mux.dispatch(typ, payload, ds, flow.st); err != nil {
 				return err
 			}
